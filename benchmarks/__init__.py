@@ -1,0 +1,1 @@
+"""Benchmark package (E1-E12; see DESIGN.md per-experiment index)."""

@@ -1,0 +1,47 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one experiment from DESIGN.md's per-experiment
+index (E1-E12): it sweeps the workload, prints the series the paper's
+claim predicts, persists the table under ``benchmarks/results/``, asserts
+the qualitative *shape* (who wins, roughly by how much), and feeds one
+representative configuration to pytest-benchmark for wall-clock timing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(experiment: str, title: str, headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
+    """Format, print and persist one experiment's table."""
+    widths = [len(str(h)) for h in headers]
+    formatted_rows = []
+    for row in rows:
+        cells = []
+        for index, cell in enumerate(row):
+            if isinstance(cell, float):
+                text = "%.3f" % cell
+            else:
+                text = str(cell)
+            cells.append(text)
+            widths[index] = max(widths[index], len(text))
+        formatted_rows.append(cells)
+
+    def line(cells):
+        return "  ".join(str(cell).rjust(width) for cell, width in zip(cells, widths))
+
+    out = ["", "=== %s: %s ===" % (experiment, title), line(headers)]
+    out.append(line(["-" * width for width in widths]))
+    for cells in formatted_rows:
+        out.append(line(cells))
+    text = "\n".join(out)
+    print(text)
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, "%s.txt" % experiment.lower())
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return text

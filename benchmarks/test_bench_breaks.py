@@ -1,0 +1,117 @@
+"""E9 — broken streams: detection latency and exception mapping.
+
+Paper claims (§2, §3): the system "tries hard to deliver messages before
+breaking a stream"; breaks map outstanding calls to ``unavailable`` (or
+``failure`` when permanent); after a break, calls fail fast rather than
+hanging.
+
+Reproduced series: time from fault injection to promise resolution, for
+crash/partition (→ unavailable) and guardian destruction (→ failure),
+sweeping the retransmission budget; plus fail-fast latency on an already
+broken stream.
+"""
+
+from dataclasses import replace
+
+from repro.core import Failure, Unavailable
+from repro.entities import ArgusSystem
+from repro.net import schedule_crash, schedule_partition
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+FAULT_AT = 1.0
+
+
+def build_system(config):
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.05)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+    return system
+
+
+def run_fault(kind, max_retries):
+    config = StreamConfig(batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=max_retries)
+    system = build_system(config)
+    descriptor = system.guardian("server").descriptor("echo")
+    if kind == "partition":
+        schedule_partition(system.network, "node:client", "node:server", at=0.0)
+    elif kind == "crash":
+        schedule_crash(system.network, "node:server", at=0.0)
+    elif kind == "destroyed":
+        system.guardian("server").destroy()
+
+    def main(ctx):
+        yield ctx.sleep(FAULT_AT)
+        echo = ctx.bind(descriptor)
+        promise = echo.stream(1)
+        echo.flush()
+        outcome = yield promise.wait()
+        return (outcome.condition, ctx.now - FAULT_AT)
+
+    process = system.create_guardian("client").spawn(main)
+    condition, latency = system.run(until=process)
+    return condition, latency
+
+
+def run_fail_fast():
+    """Calls on an already-broken (non-restarting) stream fail instantly."""
+    config = StreamConfig(
+        batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=1, auto_restart=False
+    )
+    system = build_system(config)
+    schedule_partition(system.network, "node:client", "node:server", at=0.0)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promise = echo.stream(1)
+        echo.flush()
+        yield promise.wait()
+        before = ctx.now
+        try:
+            echo.stream(2)
+        except Unavailable:
+            pass
+        return ctx.now - before
+
+    process = system.create_guardian("client").spawn(main)
+    return system.run(until=process)
+
+
+def test_e9_break_detection(benchmark):
+    rows = []
+    for kind in ("partition", "crash", "destroyed"):
+        for max_retries in (1, 3, 6):
+            condition, latency = run_fault(kind, max_retries)
+            rows.append((kind, max_retries, condition, latency))
+    fail_fast = run_fail_fast()
+    rows.append(("already-broken", "-", "fail-fast", fail_fast))
+    report(
+        "E9",
+        "break detection latency and exception mapping",
+        ["fault", "max_retries", "condition", "latency"],
+        rows,
+    )
+
+    by_key = {(row[0], row[1]): row for row in rows[:-1]}
+    # Mapping: communication faults -> unavailable; missing guardian ->
+    # failure (permanent), detected fast via the refusal reply.
+    for retries in (1, 3, 6):
+        assert by_key[("partition", retries)][2] == "unavailable"
+        assert by_key[("crash", retries)][2] == "unavailable"
+        assert by_key[("destroyed", retries)][2] == "failure"
+    # "Tries hard": a larger retry budget delays the break.
+    assert by_key[("partition", 6)][3] > by_key[("partition", 1)][3]
+    # Permanent failures are detected much faster than timeouts.
+    assert by_key[("destroyed", 3)][3] < by_key[("partition", 3)][3]
+    # Fail-fast on a broken stream costs no simulated time at all.
+    assert fail_fast == 0.0
+
+    benchmark(run_fault, "partition", 1)

@@ -1,0 +1,115 @@
+"""E10 — flush speeds delivery; synch additionally waits.
+
+Paper claims (§2): "Even without the flush, the system will send these
+messages eventually; the flush merely speeds this up."  "Synching not only
+does a flush, but it causes the caller to wait until all earlier calls on
+the stream have completed."
+
+Reproduced series: time to the first claimable result with and without an
+explicit flush, sweeping the buffer residency deadline; and the extra wait
+synch adds over flush as handler cost grows.
+"""
+
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+
+def build_system(max_buffer_delay, handler_cost):
+    config = StreamConfig(
+        batch_size=100,
+        reply_batch_size=100,
+        max_buffer_delay=max_buffer_delay,
+        reply_max_delay=max_buffer_delay,
+    )
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(handler_cost)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+    return system
+
+
+def time_to_first_result(max_buffer_delay, flush):
+    system = build_system(max_buffer_delay, handler_cost=0.05)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promise = echo.stream(1)
+        if flush:
+            echo.flush()
+        yield promise.claim()
+        return ctx.now
+
+    process = system.create_guardian("client").spawn(main)
+    return system.run(until=process)
+
+
+def flush_vs_synch_return_time(handler_cost):
+    """flush returns immediately; synch waits for completion."""
+    results = {}
+    for op in ("flush", "synch"):
+        system = build_system(max_buffer_delay=2.0, handler_cost=handler_cost)
+
+        def main(ctx, op=op):
+            echo = ctx.lookup("server", "echo")
+            for index in range(4):
+                echo.stream_statement(index)
+            if op == "flush":
+                echo.flush()
+            else:
+                yield echo.synch()
+            after_op = ctx.now
+            yield ctx.sleep(0)
+            return after_op
+
+        process = system.create_guardian("client").spawn(main)
+        results[op] = system.run(until=process)
+    return results["flush"], results["synch"]
+
+
+def test_e10_flush(benchmark):
+    rows = []
+    for max_buffer_delay in (2.0, 8.0, 32.0):
+        without_flush = time_to_first_result(max_buffer_delay, flush=False)
+        with_flush = time_to_first_result(max_buffer_delay, flush=True)
+        rows.append((max_buffer_delay, without_flush, with_flush, without_flush - with_flush))
+    report(
+        "E10a",
+        "flush: time to first result vs buffer residency deadline",
+        ["buffer_deadline", "no_flush", "with_flush", "saved"],
+        rows,
+    )
+    for deadline, without_flush, with_flush, _saved in rows:
+        assert with_flush < without_flush  # flush speeds things up
+        assert without_flush >= deadline  # buffered until the deadline
+    # With flush, the time is independent of the deadline.
+    flush_times = {row[2] for row in rows}
+    assert max(flush_times) - min(flush_times) < 1e-9
+
+    benchmark(time_to_first_result, 8.0, True)
+
+
+def test_e10_synch_waits(benchmark):
+    rows = []
+    for handler_cost in (0.1, 2.0, 8.0):
+        flush_return, synch_return = flush_vs_synch_return_time(handler_cost)
+        rows.append((handler_cost, flush_return, synch_return))
+    report(
+        "E10b",
+        "flush returns immediately; synch waits for completion",
+        ["handler_cost", "flush_returns_at", "synch_returns_at"],
+        rows,
+    )
+    for handler_cost, flush_return, synch_return in rows:
+        assert flush_return == 0.0  # flush never blocks the caller
+        assert synch_return >= 4 * handler_cost  # synch waited for all 4
+
+    benchmark(flush_vs_synch_return_time, 1.0)

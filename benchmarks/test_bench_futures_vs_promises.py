@@ -1,0 +1,109 @@
+"""E7 — promises vs MultiLisp futures: the cost of implicit claiming.
+
+Paper claim (§3.3): "futures ... are inefficient to implement unless
+specialized hardware is available, since every object must be examined
+each time it is accessed to determine whether or not it is a future."
+Promises are strongly typed, so only explicit claim sites pay.
+
+Reproduced series: a vector-arithmetic workload over values produced by
+remote stream calls, sweeping the number of accesses per produced value.
+Futures pay one examination per access; promises pay one claim per value.
+"""
+
+from repro.baselines import FutureRuntime
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+PRODUCE = HandlerType(args=[INT], returns=[INT])
+CHECK_COST = 0.05  # the software future-tag test per access
+N_VALUES = 32
+
+
+def build_system():
+    config = StreamConfig(batch_size=16, reply_batch_size=16, max_buffer_delay=1.0, reply_max_delay=1.0)
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+
+    def produce(ctx, x):
+        yield ctx.compute(0.05)
+        return x * 2
+
+    server.create_handler("produce", PRODUCE, produce)
+    return system
+
+
+def run_promises(accesses_per_value):
+    system = build_system()
+
+    def main(ctx):
+        ref = ctx.lookup("server", "produce")
+        promises = [ref.stream(index) for index in range(N_VALUES)]
+        ref.flush()
+        values = []
+        for promise in promises:
+            values.append((yield promise.claim()))  # the only typed check
+        total = 0
+        for value in values:
+            for _ in range(accesses_per_value):
+                total += value  # plain value: zero-cost access
+        return total
+
+    process = system.create_guardian("client").spawn(main)
+    total = system.run(until=process)
+    return system.now, total
+
+
+def run_futures(accesses_per_value):
+    system = build_system()
+    runtime = FutureRuntime(system.env, check_cost=CHECK_COST)
+
+    def main(ctx):
+        ref = ctx.lookup("server", "produce")
+        futures = [runtime.wrap_promise(ref.stream(index)) for index in range(N_VALUES)]
+        ref.flush()
+        total = 0
+        for future in futures:
+            for _ in range(accesses_per_value):
+                # Every access must examine the operand (implicit claim).
+                increment = yield runtime.touch(future)
+                total += increment
+        return total
+
+    process = system.create_guardian("client").spawn(main)
+    total = system.run(until=process)
+    return system.now, total, runtime.examinations
+
+
+def test_e7_promises_vs_futures(benchmark):
+    rows = []
+    for accesses in (1, 4, 16, 64):
+        promise_time, promise_total = run_promises(accesses)
+        future_time, future_total, examinations = run_futures(accesses)
+        assert promise_total == future_total
+        rows.append(
+            (
+                accesses,
+                promise_time,
+                future_time,
+                future_time / promise_time,
+                N_VALUES,  # claims performed by the promise version
+                examinations,
+            )
+        )
+    report(
+        "E7",
+        "promises (explicit claim) vs futures (tag check per access)",
+        ["accesses/value", "promise_time", "future_time", "slowdown", "claims", "examinations"],
+        rows,
+    )
+    by_n = {row[0]: row for row in rows}
+    # One access per value: comparable.  Many accesses: futures fall behind,
+    # linearly in the number of accesses.
+    assert by_n[1][3] < 2.0
+    assert by_n[64][3] > 3.0
+    assert by_n[64][5] == N_VALUES * 64
+
+    benchmark(run_promises, 16)

@@ -1,0 +1,71 @@
+"""E13 — the §2.1 parallel-execution override (extension experiment).
+
+Paper (§2.1): "We may provide some explicit overrides to allow more
+sophisticated programs that process calls on the same stream in
+parallel."  The paper does not evaluate this; we do, as the natural
+ablation: same workload, sequential vs parallel groups, sweeping handler
+cost.  Replies must still resolve in call order (verified inline).
+
+Expected shape: parallelism wins in proportion to handler cost; for free
+handlers the two modes tie (the transport, not execution, dominates).
+"""
+
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+WORK = HandlerType(args=[INT], returns=[INT])
+N_CALLS = 16
+
+
+def run_mode(parallel, handler_cost):
+    config = StreamConfig(batch_size=N_CALLS, reply_batch_size=N_CALLS, max_buffer_delay=1.0, reply_max_delay=1.0)
+    system = ArgusSystem(latency=2.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+    server.create_group("work", parallel=parallel)
+
+    def work(ctx, x):
+        if handler_cost > 0:
+            yield ctx.compute(handler_cost)
+        return x
+
+    server.create_handler("work", WORK, work, group="work")
+
+    def main(ctx):
+        ref = ctx.lookup("server", "work")
+        promises = [ref.stream(index) for index in range(N_CALLS)]
+        ref.flush()
+        values = []
+        for index, promise in enumerate(promises):
+            values.append((yield promise.claim()))
+            # In-order resolution must hold in both modes.
+            assert all(p.ready() for p in promises[: index + 1])
+        return values
+
+    process = system.create_guardian("client").spawn(main)
+    values = system.run(until=process)
+    assert values == list(range(N_CALLS))
+    return system.now
+
+
+def test_e13_parallel_override(benchmark):
+    rows = []
+    for handler_cost in (0.0, 0.5, 2.0, 8.0):
+        sequential = run_mode(False, handler_cost)
+        parallel = run_mode(True, handler_cost)
+        rows.append((handler_cost, sequential, parallel, sequential / parallel))
+    report(
+        "E13",
+        "sequential vs parallel same-stream execution (n=%d)" % N_CALLS,
+        ["handler_cost", "sequential", "parallel", "speedup"],
+        rows,
+    )
+    by_cost = {row[0]: row for row in rows}
+    # Free handlers: no benefit.  Costly handlers: up to ~n-fold.
+    assert by_cost[0.0][3] < 1.2
+    assert by_cost[2.0][3] > 4.0
+    assert by_cost[8.0][3] > by_cost[0.5][3]
+
+    benchmark(run_mode, True, 0.5)

@@ -1,0 +1,93 @@
+"""E6 — process-per-stream vs process-per-item composition.
+
+Paper claim (§4.3): "the extra concurrency may be useful since it permits
+us to run the filters in parallel.  Clearly, this is of interest only if
+the filters are lengthy ...  The problem is that there are many more
+processes to manage than in the process-per-stream case.  This can impose
+a substantial burden on the system, and even slow down the program. ...
+the process-per-stream structure avoids the whole problem and therefore is
+better, at least on a sequential machine."
+
+Reproduced series: completion time of both structures sweeping (a) the
+filter cost (long filters reward per-item parallelism) and (b) the
+process-spawn overhead (which punishes per-item).  The crossover the paper
+predicts must appear.
+"""
+
+from repro.compose import Filter, Pipeline, Stage, run_per_item, run_per_stream
+from repro.entities import ArgusSystem
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+STEP = HandlerType(args=[INT], returns=[INT])
+N_ITEMS = 24
+
+
+def build_system(spawn_overhead):
+    system = ArgusSystem(
+        latency=2.0, kernel_overhead=0.1, process_spawn_overhead=spawn_overhead
+    )
+    for name in ("alpha", "beta"):
+        guardian = system.create_guardian(name)
+
+        def impl(ctx, x):
+            yield ctx.compute(0.2)
+            return x + 1
+
+        guardian.create_handler("step", STEP, impl)
+    return system
+
+
+def run_structure(runner, filter_cost, spawn_overhead):
+    system = build_system(spawn_overhead)
+    pipeline = Pipeline(
+        [
+            Stage("alpha", "step", filter=Filter(lambda v, i: (i,), cost=filter_cost)),
+            Stage("beta", "step", filter=Filter(lambda v, i: (v,), cost=filter_cost)),
+        ]
+    )
+
+    def main(ctx):
+        results = yield from runner(ctx, pipeline, list(range(N_ITEMS)))
+        return results
+
+    process = system.create_guardian("client").spawn(main)
+    results = system.run(until=process)
+    assert results == [x + 2 for x in range(N_ITEMS)]
+    return system.now
+
+
+def test_e6_per_stream_vs_per_item(benchmark):
+    rows = []
+    for filter_cost in (0.0, 0.5, 2.0, 8.0):
+        for spawn_overhead in (0.0, 0.5):
+            per_stream = run_structure(run_per_stream, filter_cost, spawn_overhead)
+            per_item = run_structure(run_per_item, filter_cost, spawn_overhead)
+            rows.append(
+                (
+                    filter_cost,
+                    spawn_overhead,
+                    per_stream,
+                    per_item,
+                    "per_item" if per_item < per_stream else "per_stream",
+                )
+            )
+    report(
+        "E6",
+        "process-per-stream vs process-per-item (n=%d)" % N_ITEMS,
+        ["filter_cost", "spawn_overhead", "per_stream", "per_item", "winner"],
+        rows,
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Cheap filters: per-stream wins (or ties) — "better, at least on a
+    # sequential machine" — especially once process management costs bite.
+    assert by_key[(0.0, 0.5)][4] == "per_stream"
+    # Lengthy filters with free processes: per-item parallelism wins.
+    assert by_key[(8.0, 0.0)][4] == "per_item"
+    # The spawn overhead strictly hurts per-item more than per-stream.
+    hurt_item = by_key[(2.0, 0.5)][3] - by_key[(2.0, 0.0)][3]
+    hurt_stream = by_key[(2.0, 0.5)][2] - by_key[(2.0, 0.0)][2]
+    assert hurt_item > hurt_stream
+
+    benchmark(run_structure, run_per_stream, 0.5, 0.0)

@@ -1,0 +1,77 @@
+"""E2 — sends omit normal replies.
+
+Paper claim (§2): "in the case of sends, normal replies can be omitted",
+further reducing traffic for calls whose reply carries no data.
+
+Reproduced series: reply-direction bytes and message counts for n no-result
+calls made as stream calls (with promises, still reply-less on the wire)
+vs. calls to a result-bearing handler, plus the abnormal-only reporting.
+"""
+
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from .conftest import report
+
+WITH_RESULT = HandlerType(args=[INT], returns=[INT])
+NO_RESULT = HandlerType(args=[INT])
+
+CONFIG = StreamConfig(
+    batch_size=16, reply_batch_size=16, max_buffer_delay=2.0, reply_max_delay=2.0
+)
+
+
+def build_system():
+    system = ArgusSystem(latency=5.0, kernel_overhead=0.5, stream_config=CONFIG)
+    server = system.create_guardian("server")
+
+    def with_result(ctx, x):
+        yield ctx.compute(0.05)
+        return x
+
+    def no_result(ctx, x):
+        yield ctx.compute(0.05)
+        return None
+
+    server.create_handler("with_result", WITH_RESULT, with_result)
+    server.create_handler("no_result", NO_RESULT, no_result)
+    return system
+
+
+def run_calls(handler_name, n_calls):
+    system = build_system()
+
+    def main(ctx):
+        ref = ctx.lookup("server", handler_name)
+        for index in range(n_calls):
+            ref.stream_statement(index)
+        yield ref.synch()
+        sender = ref.stream_sender
+        return sender.stats.sends_made
+
+    process = system.create_guardian("client").spawn(main)
+    sends = system.run(until=process)
+    stats = system.stats()
+    return system.now, stats["bytes_sent"], stats["messages_sent"], sends
+
+
+def test_e2_sends_omit_replies(benchmark):
+    rows = []
+    for n_calls in (8, 32, 128):
+        t_result, bytes_result, msgs_result, _ = run_calls("with_result", n_calls)
+        t_send, bytes_send, msgs_send, sends = run_calls("no_result", n_calls)
+        assert sends == n_calls, "no-result stream calls must go as sends"
+        rows.append(
+            (n_calls, bytes_result, bytes_send, bytes_result - bytes_send, msgs_result, msgs_send)
+        )
+    report(
+        "E2",
+        "stream calls vs sends (wire bytes, messages)",
+        ["n_calls", "bytes_w_result", "bytes_send", "bytes_saved", "msgs_w_result", "msgs_send"],
+        rows,
+    )
+    for row in rows:
+        assert row[2] < row[1], "sends must move fewer bytes"
+
+    benchmark(run_calls, "no_result", 64)

@@ -1,0 +1,71 @@
+"""Broken streams: unavailable, failure, and automatic restart (§2-§3).
+
+Scripts a partition and a guardian destruction against a live stream and
+shows the exception vocabulary the paper defines: ``unavailable`` for
+temporary trouble (retry later), ``failure`` for permanent trouble, and
+reincarnation making the stream usable again once the network heals.
+
+Run:  python examples/fault_tolerance.py
+"""
+
+from repro import ArgusSystem, Failure, HandlerType, INT, StreamConfig, Unavailable
+from repro.net import schedule_partition
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+
+def main() -> None:
+    config = StreamConfig(batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=2)
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.1)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+    client = system.create_guardian("client")
+
+    # Partition from t=4 to t=30: calls in that window break their stream.
+    schedule_partition(system.network, "node:client", "node:server",
+                       at=4.0, heal_at=30.0)
+
+    def client_main(ctx):
+        h = ctx.lookup("server", "echo")
+
+        value = yield h.call(1)
+        print("[%6.2f] before the partition: echo(1) = %d" % (ctx.now, value))
+
+        yield ctx.sleep(5.0)  # now inside the partition window
+        promise = h.stream(2)
+        h.flush()
+        try:
+            yield promise.claim()
+        except Unavailable as exc:
+            print("[%6.2f] during the partition: %s" % (ctx.now, exc))
+            print("         (the system 'tried hard' first: retransmissions,"
+                  " then the break)")
+
+        yield ctx.sleep(20.0)  # the partition heals at t=30
+        value = yield h.call(3)
+        print("[%6.2f] after healing: echo(3) = %d  (stream incarnation %d "
+              "- restarted automatically)"
+              % (ctx.now, value, h.stream_sender.incarnation))
+
+        # Permanent failure: the guardian goes away entirely.
+        descriptor = h.descriptor
+        system.guardian("server").destroy()
+        ghost = ctx.bind(descriptor)
+        try:
+            yield ghost.call(4)
+        except Failure as exc:
+            print("[%6.2f] after destroy: %s (permanent: no point retrying)"
+                  % (ctx.now, exc))
+        return "done"
+
+    process = client.spawn(client_main)
+    print("\n->", system.run(until=process))
+
+
+if __name__ == "__main__":
+    main()

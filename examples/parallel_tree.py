@@ -1,0 +1,50 @@
+"""Forks and the promise-valued binary tree (§3.2).
+
+Searchers run in parallel with an inserter; a search that reaches a
+blocked slot simply waits on its promise until an inserter resolves it —
+producer/consumer synchronization with no locks.
+
+Run:  python examples/parallel_tree.py
+"""
+
+import random
+
+from repro import ArgusSystem, PromiseTree
+
+
+def main() -> None:
+    system = ArgusSystem()
+    tree = PromiseTree(system.env)
+    client = system.create_guardian("client")
+
+    keys = list(range(40))
+    random.Random(2).shuffle(keys)
+
+    def inserter(ctx):
+        for key in keys:
+            yield ctx.sleep(0.25)  # insertions trickle in
+            tree.insert(key, "value-%d" % key)
+        print("[%6.2f] inserter done (%d keys)" % (ctx.now, len(tree)))
+
+    def searcher(ctx, key):
+        value = yield from tree.search(key)
+        print("[%6.2f] search(%d) -> %s" % (ctx.now, key, value))
+        return value
+
+    # Forked searchers for keys that will only exist later.
+    def main_proc(ctx):
+        promises = [ctx.fork(searcher, key) for key in (keys[5], keys[20], keys[-1])]
+        ctx.fork(inserter)
+        values = []
+        for promise in promises:
+            values.append((yield promise.claim()))
+        return values
+
+    process = client.spawn(main_proc)
+    values = system.run(until=process)
+    print("\nall searches resolved:", values)
+    print("in-order keys (first 10):", tree.keys_in_order()[:10])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""The three-level cascade of §4: read -> compute -> write.
+
+Demonstrates stream composition with filters: the phased (Figure 3-1
+shape), process-per-stream (coenter) and process-per-item structures over
+the same pipeline, plus a filter that *skips* bad items and one that
+*terminates* the composition — "the filter could cope with the problem
+either by manufacturing arguments for the call on the next stream or by
+omitting the call or by terminating the computation."
+
+Run:  python examples/read_compute_write.py
+"""
+
+from repro import ArgusSystem, Filter, HandlerType, INT, Pipeline, SKIP, Stage
+from repro.compose import run_per_item, run_per_stream, run_phased
+
+STEP = HandlerType(args=[INT], returns=[INT])
+
+
+def build_world():
+    system = ArgusSystem(latency=2.0, kernel_overhead=0.2)
+    for name, fn, cost in [
+        ("sensor", lambda x: x * 10, 0.4),      # "read"
+        ("analyzer", lambda x: x + 7, 0.8),     # "compute"
+        ("archive", lambda x: x, 0.3),          # "write"
+    ]:
+        guardian = system.create_guardian(name)
+
+        def make_impl(fn=fn, cost=cost):
+            def impl(ctx, x):
+                yield ctx.compute(cost)
+                return fn(x)
+
+            return impl
+
+        guardian.create_handler("step", STEP, make_impl())
+    return system
+
+
+def main() -> None:
+    items = list(range(16))
+    pipeline = Pipeline(
+        [Stage("sensor", "step"), Stage("analyzer", "step"), Stage("archive", "step")]
+    )
+
+    print("read -> compute -> write over %d items:\n" % len(items))
+    for name, runner in [
+        ("phased (Fig 3-1 shape)", run_phased),
+        ("process-per-stream", run_per_stream),
+        ("process-per-item", run_per_item),
+    ]:
+        system = build_world()
+
+        def run(ctx, runner=runner):
+            results = yield from runner(ctx, pipeline, items)
+            return results
+
+        process = system.create_guardian("client").spawn(run)
+        results = system.run(until=process)
+        assert results == [x * 10 + 7 for x in items]
+        print("  %-24s finished at t=%.1f" % (name, system.now))
+
+    # --- filters can skip items -------------------------------------------
+    def drop_negatives(value, item):
+        if item < 0:
+            return SKIP
+        return (item,)
+
+    filtered = Pipeline(
+        [Stage("sensor", "step", filter=Filter(drop_negatives)), Stage("analyzer", "step")]
+    )
+    system = build_world()
+
+    def run_filtered(ctx):
+        results = yield from run_per_stream(ctx, filtered, [3, -1, 4, -1, 5])
+        return results
+
+    process = system.create_guardian("client").spawn(run_filtered)
+    results = system.run(until=process)
+    print("\n  filter skipped the bad items: %s" % (results,))
+
+    # --- or terminate the whole composition --------------------------------
+    def explode_on(value, item):
+        if item == 13:
+            raise ValueError("cannot process item 13")
+        return (item,)
+
+    fragile = Pipeline([Stage("sensor", "step", filter=Filter(explode_on))])
+    system = build_world()
+
+    def run_fragile(ctx):
+        try:
+            yield from run_per_stream(ctx, fragile, [11, 12, 13, 14])
+            return "completed"
+        except ValueError as exc:
+            return "terminated: %s" % exc
+
+    process = system.create_guardian("client").spawn(run_fragile)
+    print("  filter terminated the composition: %r" % system.run(until=process))
+
+
+if __name__ == "__main__":
+    main()

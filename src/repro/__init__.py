@@ -1,0 +1,146 @@
+"""repro — a reproduction of Liskov & Shrira, "Promises: Linguistic Support
+for Efficient Asynchronous Procedure Calls in Distributed Systems"
+(PLDI 1988).
+
+Quickstart::
+
+    from repro import ArgusSystem, HandlerType, INT
+
+    system = ArgusSystem()
+    server = system.create_guardian("server")
+
+    def double(ctx, x):
+        yield ctx.compute(0.1)
+        return x * 2
+
+    server.create_handler("double", HandlerType(args=[INT], returns=[INT]), double)
+
+    client = system.create_guardian("client")
+
+    def main(ctx):
+        h = ctx.lookup("server", "double")
+        promise = h.stream(21)        # stream call; caller keeps running
+        h.flush()
+        value = yield promise.claim() # 42
+        return value
+
+    process = client.spawn(main)
+    print(system.run(until=process))
+
+See README.md for the architecture overview and DESIGN.md for the mapping
+from paper sections to packages.
+"""
+
+from repro.apps import build_grades_world, build_mailer, build_window_system
+from repro.baselines import FutureRuntime, Mailbox, PairingTable
+from repro.compose import SKIP, Filter, Pipeline, Stage, run_per_item, run_per_stream, run_phased
+from repro.concurrency import (
+    Coenter,
+    PromiseQueue,
+    PromiseTree,
+    QueueClosed,
+    critical_section,
+    fork,
+)
+from repro.core import (
+    ArgusError,
+    ExceptionReply,
+    Failure,
+    Outcome,
+    Promise,
+    PromiseError,
+    PromiseNotReady,
+    Signal,
+    Unavailable,
+)
+from repro.encoding import DecodeError, EncodeError, PortDescriptor
+from repro.entities import ActivityContext, Agent, ArgusSystem, Guardian, HandlerRef
+from repro.lang import Interpreter, load_module, run_source
+from repro.net import FaultPlan, Network
+from repro.sim import Environment, Event, Process
+from repro.streams import StreamConfig, StreamSender
+from repro.transactions import Action, AtomicCell, AtomicMap, run_as_action
+from repro.types import (
+    ANY,
+    BOOL,
+    CHAR,
+    INT,
+    NULL,
+    REAL,
+    STRING,
+    ArrayOf,
+    HandlerType,
+    PortRefType,
+    PromiseType,
+    RecordOf,
+    UserType,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ANY",
+    "Action",
+    "ActivityContext",
+    "Agent",
+    "ArgusError",
+    "ArgusSystem",
+    "ArrayOf",
+    "AtomicCell",
+    "AtomicMap",
+    "BOOL",
+    "CHAR",
+    "Coenter",
+    "DecodeError",
+    "EncodeError",
+    "Environment",
+    "Event",
+    "ExceptionReply",
+    "Failure",
+    "FaultPlan",
+    "Filter",
+    "FutureRuntime",
+    "Guardian",
+    "HandlerRef",
+    "HandlerType",
+    "INT",
+    "Interpreter",
+    "Mailbox",
+    "NULL",
+    "Network",
+    "Outcome",
+    "PairingTable",
+    "Pipeline",
+    "PortDescriptor",
+    "PortRefType",
+    "Process",
+    "Promise",
+    "PromiseError",
+    "PromiseNotReady",
+    "PromiseQueue",
+    "PromiseTree",
+    "PromiseType",
+    "QueueClosed",
+    "REAL",
+    "RecordOf",
+    "SKIP",
+    "STRING",
+    "Signal",
+    "Stage",
+    "StreamConfig",
+    "StreamSender",
+    "Unavailable",
+    "UserType",
+    "build_grades_world",
+    "build_mailer",
+    "build_window_system",
+    "critical_section",
+    "fork",
+    "load_module",
+    "run_as_action",
+    "run_per_item",
+    "run_per_stream",
+    "run_phased",
+    "run_source",
+    "__version__",
+]

@@ -1,0 +1,86 @@
+"""The mailer guardian of §2.1.
+
+"consider a mailer guardian with handlers ``send_mail`` and ``read_mail``,
+both in the same group, and suppose it is being used by two clients, C1
+and C2."  The section uses it to explain per-stream sequencing: two
+clients' calls run concurrently (different streams), while one client's
+calls on its own stream run in order.
+
+``read_mail`` signals ``no_such_user`` for unregistered users, which is
+also the running example for the Argus ``except when`` form.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.exceptions import Signal
+from repro.entities.system import ArgusSystem
+from repro.types.signatures import STRING, ArrayOf, HandlerType
+
+__all__ = ["SEND_MAIL_TYPE", "READ_MAIL_TYPE", "build_mailer"]
+
+#: ``send_mail: handlertype (string, string) signals (no_such_user)``
+SEND_MAIL_TYPE = HandlerType(args=[STRING, STRING], signals={"no_such_user": []})
+
+#: ``read_mail: handlertype (string) returns (array[string])
+#:             signals (no_such_user)``
+READ_MAIL_TYPE = HandlerType(
+    args=[STRING], returns=[ArrayOf(STRING)], signals={"no_such_user": []}
+)
+
+
+def build_mailer(
+    system: ArgusSystem,
+    name: str = "mailer",
+    users: Any = ("alice", "bob"),
+    handler_cost: float = 0.1,
+):
+    """Create the mailer guardian with both handlers in group ``main``.
+
+    Handlers track how many calls ran concurrently (``state['concurrent']``
+    / ``state['max_concurrent']``) so tests can verify the §2.1 claims
+    about which calls overlap.
+    """
+    mailer = system.create_guardian(name)
+    mailer.state["mail"] = {user: [] for user in users}
+    mailer.state["concurrent"] = 0
+    mailer.state["max_concurrent"] = 0
+
+    def _enter(ctx) -> None:
+        state = ctx.guardian.state
+        state["concurrent"] += 1
+        state["max_concurrent"] = max(state["max_concurrent"], state["concurrent"])
+
+    def _leave(ctx) -> None:
+        ctx.guardian.state["concurrent"] -= 1
+
+    def send_mail(ctx, user: str, message: str):
+        _enter(ctx)
+        try:
+            if handler_cost > 0:
+                yield ctx.compute(handler_cost)
+            mailbox: Dict[str, List[str]] = ctx.guardian.state["mail"]
+            if user not in mailbox:
+                raise Signal("no_such_user")
+            mailbox[user].append(message)
+            return None
+        finally:
+            _leave(ctx)
+
+    def read_mail(ctx, user: str):
+        _enter(ctx)
+        try:
+            if handler_cost > 0:
+                yield ctx.compute(handler_cost)
+            mailbox: Dict[str, List[str]] = ctx.guardian.state["mail"]
+            if user not in mailbox:
+                raise Signal("no_such_user")
+            messages, mailbox[user] = mailbox[user], []
+            return list(messages)
+        finally:
+            _leave(ctx)
+
+    mailer.create_handler("send_mail", SEND_MAIL_TYPE, send_mail)
+    mailer.create_handler("read_mail", READ_MAIL_TYPE, read_mail)
+    return mailer

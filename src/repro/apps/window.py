@@ -1,0 +1,101 @@
+"""The window system of §2: dynamic port creation and port transmission.
+
+    "a window system might provide a ``create_window`` port that is used
+     to create a new window.  When called, this port returns a number of
+     newly-created ports that can be used to interact with the new
+     window ...  All ports for a particular window might be placed in the
+     same group, but ports of different windows might belong to different
+     groups."
+
+``create_window`` dynamically creates a fresh port group holding three
+ports (``putc``, ``puts``, ``change_color``) and returns them in a record
+— exercising both dynamic groups and ports travelling as call results.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List
+
+from repro.entities.system import ArgusSystem
+from repro.types.signatures import CHAR, STRING, HandlerType, PortRefType, RecordOf
+
+__all__ = [
+    "PUTC_TYPE",
+    "PUTS_TYPE",
+    "CHANGE_COLOR_TYPE",
+    "CREATE_WINDOW_TYPE",
+    "build_window_system",
+]
+
+PUTC_TYPE = HandlerType(args=[CHAR])
+PUTS_TYPE = HandlerType(args=[STRING])
+CHANGE_COLOR_TYPE = HandlerType(args=[STRING])
+
+#: ``create_window: port () returns (window)`` where ``window`` is the
+#: record of ports from the paper.
+CREATE_WINDOW_TYPE = HandlerType(
+    returns=[
+        RecordOf(
+            {
+                "putc": PortRefType(PUTC_TYPE),
+                "puts": PortRefType(PUTS_TYPE),
+                "change_color": PortRefType(CHANGE_COLOR_TYPE),
+            }
+        )
+    ]
+)
+
+_window_serial = itertools.count(1)
+
+
+def build_window_system(system: ArgusSystem, name: str = "windows"):
+    """Create the window-system guardian.
+
+    Each window's content is observable at
+    ``guardian.state['windows'][window_id]`` as
+    ``{"text": [...], "color": str}``.
+    """
+    guardian = system.create_guardian(name)
+    guardian.state["windows"] = {}
+
+    def create_window(ctx):
+        window_id = "w%d" % next(_window_serial)
+        window_state: Dict[str, Any] = {"text": [], "color": "white"}
+        ctx.guardian.state["windows"][window_id] = window_state
+
+        def putc(hctx, ch: str):
+            yield hctx.compute(0.01)
+            window_state["text"].append(ch)
+            return None
+
+        def puts(hctx, text: str):
+            yield hctx.compute(0.02)
+            window_state["text"].append(text)
+            return None
+
+        def change_color(hctx, color: str):
+            yield hctx.compute(0.01)
+            window_state["color"] = color
+            return None
+
+        # "All ports for a particular window might be placed in the same
+        # group" — a fresh group per window.
+        group = ctx.guardian.create_group(window_id)
+        port_putc = group.add_port("putc", PUTC_TYPE, putc)
+        port_puts = group.add_port("puts", PUTS_TYPE, puts)
+        port_color = group.add_port("change_color", CHANGE_COLOR_TYPE, change_color)
+        yield ctx.compute(0.05)
+        return {
+            "putc": port_putc.descriptor(),
+            "puts": port_puts.descriptor(),
+            "change_color": port_color.descriptor(),
+        }
+
+    guardian.create_handler("create_window", CREATE_WINDOW_TYPE, create_window)
+    return guardian
+
+
+def window_text(guardian, window_id: str) -> List[str]:
+    """The accumulated text of a window (test/benchmark helper)."""
+    return list(guardian.state["windows"][window_id]["text"])

@@ -1,0 +1,16 @@
+"""Comparison baselines: MultiLisp futures, send/receive, RPC-only."""
+
+from repro.baselines.futures import ErrorValue, FutureRuntime, MLFuture
+from repro.baselines.rpc_only import call_sequence, call_sequence_collect
+from repro.baselines.sendrecv import DatagramBatch, Mailbox, PairingTable
+
+__all__ = [
+    "DatagramBatch",
+    "ErrorValue",
+    "FutureRuntime",
+    "MLFuture",
+    "Mailbox",
+    "PairingTable",
+    "call_sequence",
+    "call_sequence_collect",
+]

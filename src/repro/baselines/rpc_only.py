@@ -1,0 +1,49 @@
+"""Synchronous-RPC-only programming: the Ada/SR baseline (§5).
+
+    "Most languages for distributed systems provide a procedure-oriented
+     communication mechanism.  Examples are Ada [19] and SR [1]. ...
+     However, none of these languages allows the efficiency of streaming.
+     Programs in these languages can be optimized only to reduce the
+     delay of individual calls, not to improve the throughput of groups
+     of calls."
+
+The helpers here run call sequences strictly synchronously — each call
+waits for its reply before the next is made — over the *same* handlers the
+stream benchmarks use, so E1/E3 compare like with like.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Sequence
+
+__all__ = ["call_sequence", "call_sequence_collect"]
+
+
+def call_sequence(ctx: Any, ref: Any, calls: Sequence[Sequence[Any]]):
+    """Make each call in *calls* as a blocking RPC (``yield from``-able).
+
+    Returns the list of results.  Exceptions propagate immediately, as
+    they would in Ada/SR.
+    """
+    results: List[Any] = []
+    for args in calls:
+        result = yield ref.call(*args)
+        results.append(result)
+    return results
+
+
+def call_sequence_collect(ctx: Any, ref: Any, calls: Sequence[Sequence[Any]]):
+    """Like :func:`call_sequence`, but collect exceptions as outcomes
+    instead of stopping at the first one (``yield from``-able).
+
+    Returns a list of ``("ok", value)`` / ``("exception", exc)`` pairs.
+    """
+    results: List[Any] = []
+    for args in calls:
+        try:
+            value = yield ref.call(*args)
+        except Exception as exc:  # termination-model condition
+            results.append(("exception", exc))
+        else:
+            results.append(("ok", value))
+    return results

@@ -1,0 +1,71 @@
+"""Filters: the local computations between streams of a cascade.
+
+"This program form allows arbitrary *filter* computations to be done to
+'match' the two streams" (§4).  A filter maps the claimed result of a call
+on stream *i* (plus the original work item) to the argument tuple of the
+call on stream *i+1*; it may also skip the item or stop the whole
+composition — "if a call on the first stream raises an exception, the
+filter could cope with the problem either by manufacturing arguments for
+the call on the next stream or by omitting the call or by terminating the
+computation."
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["SKIP", "Filter", "identity_filter", "make_filter"]
+
+
+class _Skip:
+    """Sentinel returned by a filter to omit the call for this item."""
+
+    def __repr__(self) -> str:
+        return "<SKIP>"
+
+
+#: Return this from a filter to omit the next-stage call for the item.
+SKIP = _Skip()
+
+
+class Filter:
+    """A filter function plus its modelled execution cost.
+
+    ``fn(previous_value, item) -> args tuple | SKIP``; raising an exception
+    from *fn* terminates the composition (the coenter propagates it).
+    ``cost`` simulated time units are charged per application — the knob
+    benchmark E6 sweeps ("this is of interest only if the filters are
+    lengthy").
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Any, Any], Any],
+        cost: float = 0.0,
+        name: str = "",
+    ) -> None:
+        if cost < 0:
+            raise ValueError("filter cost must be >= 0")
+        self.fn = fn
+        self.cost = cost
+        self.name = name or getattr(fn, "__name__", "filter")
+
+    def __call__(self, previous_value: Any, item: Any) -> Any:
+        return self.fn(previous_value, item)
+
+    def __repr__(self) -> str:
+        return "<Filter %s cost=%g>" % (self.name, self.cost)
+
+
+def identity_filter() -> Filter:
+    """Pass the previous stage's value through as the single argument."""
+    return Filter(lambda value, _item: (value,), name="identity")
+
+
+def make_filter(
+    fn: Callable[[Any, Any], Any], cost: float = 0.0, name: str = ""
+) -> Filter:
+    """Wrap *fn* (or return it unchanged if already a :class:`Filter`)."""
+    if isinstance(fn, Filter):
+        return fn
+    return Filter(fn, cost=cost, name=name)

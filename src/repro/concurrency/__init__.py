@@ -1,0 +1,28 @@
+"""Local concurrency: fork, coenter, promise queues and trees (§3.2, §4)."""
+
+from repro.concurrency.coenter import Coenter, CoenterTerminated
+from repro.concurrency.critical import (
+    WoundedError,
+    critical_depth,
+    critical_section,
+    is_wounded,
+    terminate,
+)
+from repro.concurrency.fork import fork
+from repro.concurrency.promise_queue import PromiseQueue, QueueClosed
+from repro.concurrency.tree import PromiseTree, TreeNode
+
+__all__ = [
+    "Coenter",
+    "CoenterTerminated",
+    "PromiseQueue",
+    "PromiseTree",
+    "QueueClosed",
+    "TreeNode",
+    "WoundedError",
+    "critical_depth",
+    "critical_section",
+    "fork",
+    "is_wounded",
+    "terminate",
+]

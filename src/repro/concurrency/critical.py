@@ -1,0 +1,103 @@
+"""Critical-section tracking and process wounding (§4.2).
+
+"Early termination of processes raises a question of safety.  First, the
+process might be in the middle of a critical section; stopping it at such a
+point could leave damaged data.  We solve this problem by delaying
+termination while a process is in a critical section.  The Argus runtime
+system keeps track of how many critical sections a process is in and delays
+its termination until the count is zero; ... To encourage a process to
+leave critical sections rapidly when it should terminate, we 'wound' it by
+greatly restricting what it can do.  For example, it cannot make any remote
+calls at such a point."
+
+``critical_section`` is the built-in critical-section mechanism;
+``terminate`` is the wound-aware kill used by the coenter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.process import Interrupt, Process
+
+__all__ = [
+    "critical_section",
+    "terminate",
+    "critical_depth",
+    "is_wounded",
+    "WoundedError",
+]
+
+
+class WoundedError(Exception):
+    """A wounded process attempted a restricted operation (remote call)."""
+
+
+def critical_depth(process: Process) -> int:
+    """How many critical sections *process* is currently inside."""
+    return getattr(process, "_critical_depth", 0)
+
+
+def is_wounded(process: Optional[Process]) -> bool:
+    """Whether *process* has a pending (delayed) termination."""
+    return process is not None and getattr(process, "_wound_cause", None) is not None
+
+
+def terminate(process: Process, cause: Any = None) -> None:
+    """Interrupt *process*, respecting critical sections.
+
+    If the process is outside all critical sections, the interrupt is
+    delivered immediately.  Otherwise the process is *wounded*: the
+    interrupt is held until it leaves its outermost critical section, and
+    meanwhile restricted operations raise :class:`WoundedError`.
+    """
+    if process.triggered:
+        return
+    if critical_depth(process) == 0:
+        process.interrupt(cause)
+    else:
+        process._wound_cause = (cause,)  # type: ignore[attr-defined]
+
+
+class critical_section:
+    """Context manager marking a critical section of the active process.
+
+    Usage inside a simulated process::
+
+        with critical_section(env):
+            ... # termination is delayed while here
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._process: Optional[Process] = None
+
+    def __enter__(self) -> "critical_section":
+        process = self.env.active_process
+        if process is None:
+            raise RuntimeError("critical_section used outside a process")
+        process._critical_depth = critical_depth(process) + 1  # type: ignore[attr-defined]
+        self._process = process
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        process = self._process
+        depth = critical_depth(process) - 1
+        process._critical_depth = depth  # type: ignore[attr-defined]
+        if depth == 0:
+            wound = getattr(process, "_wound_cause", None)
+            if wound is not None:
+                process._wound_cause = None  # type: ignore[attr-defined]
+                if process.triggered:
+                    return False
+                if self.env.active_process is process:
+                    # We are running inside the wounded process itself (the
+                    # usual case: it just left its critical section); the
+                    # delayed termination is delivered by raising here —
+                    # but never mask an exception already in flight.
+                    if exc_type is None:
+                        raise Interrupt(wound[0])
+                else:
+                    process.interrupt(wound[0])
+        return False

@@ -1,0 +1,86 @@
+"""Local forks: promises for local procedure calls (§3.2).
+
+    "A fork causes a call of a local procedure to run in parallel with the
+     caller.  When the procedure terminates, its results are stored in the
+     promise, which then becomes claimable."
+
+Arguments are passed by sharing (ordinary Python references — objects live
+on the heap, so there are no lifetime problems), no encoding happens, and
+the forked process gets its own agent.  Exceptions raised by the procedure
+— user signals, ``unavailable``, ``failure`` — propagate through the
+promise to whoever claims it, which is the type-safe exception propagation
+the paper highlights as missing from Mesa and Modula-2+.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.exceptions import ArgusError, Failure, Unavailable
+from repro.core.outcome import Outcome
+from repro.core.promise import Promise
+from repro.sim.process import Interrupt, ProcessKilled
+from repro.types.signatures import PromiseType
+
+__all__ = ["fork"]
+
+
+def fork(
+    ctx: Any,
+    procedure: Callable,
+    *args: Any,
+    ptype: Optional[PromiseType] = None,
+    label: str = "",
+) -> Promise:
+    """``p: pt := fork foo(args)``.
+
+    *procedure* is a generator function ``procedure(child_ctx, *args)``; it
+    runs in a new process with a new agent of the same guardian.  Returns
+    the promise for its result, typed by *ptype* when given.
+    """
+    env = ctx.env
+    name = label or getattr(procedure, "__name__", "fork")
+    child_ctx = ctx.spawn_context(name)
+    promise = Promise(env, ptype, label="fork:%s" % name)
+    process = env.process(procedure(child_ctx, *args))
+    ctx.guardian._track(process)
+
+    def complete(event) -> None:
+        if promise.ready():
+            return
+        if event.ok:
+            promise.resolve(_result_outcome(ptype, event.value))
+            return
+        exc = event.value
+        event.defused = True
+        if isinstance(exc, ArgusError):
+            promise.resolve(Outcome.exceptional(exc))
+        elif isinstance(exc, (ProcessKilled, Interrupt)):
+            promise.resolve(Outcome.unavailable("forked process terminated early"))
+        else:
+            promise.resolve(Outcome.failure("procedure crashed: %r" % (exc,)))
+
+    if process.triggered:
+        complete(process)
+    else:
+        process.callbacks.append(complete)
+    return promise
+
+
+def _result_outcome(ptype: Optional[PromiseType], result: Any) -> Outcome:
+    if ptype is None:
+        if result is None:
+            return Outcome.normal()
+        return Outcome.normal(result)
+    count = len(ptype.returns)
+    if count == 0:
+        if result is not None:
+            return Outcome.failure("procedure returned a value but promise has no results")
+        return Outcome.normal()
+    if count == 1:
+        return Outcome.normal(result)
+    if not isinstance(result, tuple) or len(result) != count:
+        return Outcome.failure(
+            "procedure returned %r but promise declares %d results" % (result, count)
+        )
+    return Outcome.normal(*result)

@@ -1,0 +1,120 @@
+"""A binary tree whose nodes are promises (§3.2).
+
+    "promises can be used for parallel insertion and searching of elements
+     in a binary tree in which the nodes of the tree are promises.  If a
+     search reaches a node that cannot be claimed yet, it waits until the
+     promise is ready."
+
+Every child slot of the tree is a :class:`~repro.core.promise.Promise` for
+the subtree that will eventually hang there.  Inserters *resolve* blocked
+slots; searchers *claim* them, blocking at the frontier until an inserter
+extends the tree — producer/consumer synchronization with no extra locks,
+purely through promise readiness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from repro.core.outcome import Outcome
+from repro.core.promise import Promise
+from repro.sim.kernel import Environment
+
+__all__ = ["PromiseTree", "TreeNode"]
+
+
+class TreeNode:
+    """One materialized node; its children are promises for subtrees."""
+
+    __slots__ = ("key", "value", "left", "right")
+
+    def __init__(self, env: Environment, key: Any, value: Any = None) -> None:
+        self.key = key
+        self.value = value
+        self.left = Promise(env, label="left(%r)" % (key,))
+        self.right = Promise(env, label="right(%r)" % (key,))
+
+    def __repr__(self) -> str:
+        return "<TreeNode %r>" % (self.key,)
+
+
+class PromiseTree:
+    """Concurrently-built binary search tree with promise-valued slots."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        #: The root slot; blocked until the first insertion.
+        self.root = Promise(env, label="root")
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion (non-blocking: resolves the frontier promise it reaches)
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: Any = None) -> TreeNode:
+        """Insert *key*; returns the (new or existing) node.
+
+        Runs without blocking: descends through *ready* slots and resolves
+        the first blocked slot with a fresh node.  Duplicate keys update
+        the stored value in place.
+        """
+        slot = self.root
+        while slot.ready():
+            node = slot.outcome().apply()
+            if key == node.key:
+                node.value = value
+                return node
+            slot = node.left if key < node.key else node.right
+        node = TreeNode(self.env, key, value)
+        slot.resolve(Outcome.normal(node))
+        self._size += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # Search (blocking: waits at the frontier)
+    # ------------------------------------------------------------------
+    def search(self, key: Any):
+        """Generator (``yield from``-able): find *key*, waiting on blocked
+        slots until an inserter resolves them.
+
+        Returns the node's value.  Never returns "not found": a search for
+        a key that is never inserted waits forever, exactly as the paper's
+        formulation implies — bound it with a timeout at the call site if
+        needed.
+        """
+        slot = self.root
+        while True:
+            node = yield slot.claim()
+            if key == node.key:
+                return node.value
+            slot = node.left if key < node.key else node.right
+
+    def try_search(self, key: Any) -> Optional[TreeNode]:
+        """Non-blocking probe of the *currently materialized* tree."""
+        slot = self.root
+        while slot.ready():
+            node = slot.outcome().apply()
+            if key == node.key:
+                return node
+            slot = node.left if key < node.key else node.right
+        return None
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def keys_in_order(self) -> List[Any]:
+        """In-order keys of the materialized part (tests/examples)."""
+        out: List[Any] = []
+
+        def walk(slot: Promise) -> None:
+            if not slot.ready():
+                return
+            node = slot.outcome().apply()
+            walk(node.left)
+            out.append(node.key)
+            walk(node.right)
+
+        walk(self.root)
+        return out

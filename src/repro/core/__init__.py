@@ -1,0 +1,31 @@
+"""Core promise abstraction and the Argus exception model (paper §3)."""
+
+from repro.core.exceptions import (
+    FAILURE,
+    UNAVAILABLE,
+    ArgusError,
+    ExceptionReply,
+    Failure,
+    PromiseError,
+    PromiseNotReady,
+    Signal,
+    Unavailable,
+)
+from repro.core.outcome import Outcome
+from repro.core.promise import BLOCKED, READY, Promise
+
+__all__ = [
+    "ArgusError",
+    "BLOCKED",
+    "ExceptionReply",
+    "FAILURE",
+    "Failure",
+    "Outcome",
+    "Promise",
+    "PromiseError",
+    "PromiseNotReady",
+    "READY",
+    "Signal",
+    "UNAVAILABLE",
+    "Unavailable",
+]

@@ -1,0 +1,139 @@
+"""The Argus exception model (termination model, Liskov & Snyder [11]).
+
+A call terminates in exactly one of several *conditions*: normally, with a
+user-declared exception, or with one of the two system exceptions that every
+handler implicitly carries:
+
+* ``unavailable`` — a *temporary* problem ("communication is impossible
+  right now"); the system has already tried hard, so immediate retry is
+  pointless;
+* ``failure`` — a *permanent* problem ("handler's guardian does not
+  exist", "could not decode").
+
+Both carry a string explaining the reason.  User exceptions are declared in
+handler signatures with typed arguments and are raised here as
+:class:`Signal` instances; ``claim`` re-raises whatever the call terminated
+with, which is the paper's type-safe exception propagation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+__all__ = [
+    "ArgusError",
+    "Signal",
+    "Unavailable",
+    "Failure",
+    "ExceptionReply",
+    "PromiseError",
+    "PromiseNotReady",
+    "UNAVAILABLE",
+    "FAILURE",
+]
+
+#: Canonical names of the two implicit system exceptions.
+UNAVAILABLE = "unavailable"
+FAILURE = "failure"
+
+
+class ArgusError(Exception):
+    """Base class for all exceptions in the Argus model.
+
+    Every Argus exception has a *condition name* (used to match ``except
+    when`` arms and to check against declared signal lists) and a tuple of
+    exception results.
+    """
+
+    condition: str = "error"
+
+    def exception_args(self) -> Tuple[Any, ...]:
+        """The exception's results, as passed back to the caller."""
+        return tuple(self.args)
+
+
+class Signal(ArgusError):
+    """A user-declared exception: ``signal name(args...)``.
+
+    ``Signal("no_such_user")`` or ``Signal("e1", "x")`` — the name must be
+    declared in the handler's signature with matching argument types, which
+    the runtime verifies before the exception crosses the wire.
+    """
+
+    def __init__(self, name: str, *sig_args: Any) -> None:
+        if not isinstance(name, str) or not name:
+            raise TypeError("signal name must be a non-empty string")
+        if name in (UNAVAILABLE, FAILURE):
+            raise ValueError(
+                "signal %r is reserved for the system; raise Unavailable/"
+                "Failure instead" % name
+            )
+        super().__init__(*sig_args)
+        self.condition = name
+
+    def exception_args(self) -> Tuple[Any, ...]:
+        return tuple(self.args)
+
+    def __str__(self) -> str:
+        if self.args:
+            return "%s(%s)" % (self.condition, ", ".join(repr(a) for a in self.args))
+        return self.condition
+
+
+class Unavailable(ArgusError):
+    """Temporary inability to complete a call (node/network trouble)."""
+
+    condition = UNAVAILABLE
+
+    def __init__(self, reason: str = "cannot communicate") -> None:
+        super().__init__(reason)
+
+    @property
+    def reason(self) -> str:
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return "unavailable(%r)" % (self.reason,)
+
+
+class Failure(ArgusError):
+    """Permanent inability to complete a call (the call is an error)."""
+
+    condition = FAILURE
+
+    def __init__(self, reason: str = "call failed") -> None:
+        super().__init__(reason)
+
+    @property
+    def reason(self) -> str:
+        return self.args[0]
+
+    def __str__(self) -> str:
+        return "failure(%r)" % (self.reason,)
+
+
+class ExceptionReply(ArgusError):
+    """Signalled by ``synch`` when some earlier stream call did not return
+    normally (paper §3: "otherwise, it signals exception_reply").
+
+    Deliberately carries no detail: "It does not return information about
+    which calls raised exceptions; to discover this, the program must use
+    promises."
+    """
+
+    condition = "exception_reply"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+
+class PromiseError(ArgusError):
+    """Misuse of a promise object (a local programming error)."""
+
+    condition = "promise_error"
+
+
+class PromiseNotReady(PromiseError):
+    """Non-blocking access to the value of a still-blocked promise."""
+
+    condition = "promise_not_ready"

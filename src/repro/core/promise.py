@@ -1,0 +1,253 @@
+"""The promise data type (the paper's primary contribution).
+
+    "A promise is a place holder for a value that will exist in the future.
+     It is created at the time a call is made.  The call computes the value
+     of the promise, running in parallel with the program that made the
+     call.  When it completes, its results are stored in the promise and
+     can then be 'claimed' by the caller."
+
+A promise is in one of two states, *blocked* or *ready*.  Once ready it
+stays ready and its value never changes.  ``claim`` waits for readiness and
+then returns the normal result or raises the call's exception; ``ready`` is
+the non-blocking probe.  Promises are strongly typed: a
+:class:`~repro.types.signatures.PromiseType` says what the normal results
+and declared exceptions may be, and the runtime enforces it when the promise
+resolves — so, unlike MultiLisp futures, no per-access runtime check is ever
+needed (benchmark E7 measures exactly this difference).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.core.exceptions import (
+    ArgusError,
+    Failure,
+    PromiseError,
+    PromiseNotReady,
+    Signal,
+)
+from repro.core.outcome import Outcome
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.types.checking import TypeViolation, check_results, check_value
+from repro.types.signatures import PromiseType
+
+__all__ = ["Promise", "BLOCKED", "READY"]
+
+#: State constants (the paper's two promise states).
+BLOCKED = "blocked"
+READY = "ready"
+
+_promise_ids = itertools.count(1)
+
+
+class Promise:
+    """A typed placeholder for the outcome of an asynchronous call.
+
+    Instances are created by the runtime — by a stream call
+    (:mod:`repro.streams`), by ``fork`` (:mod:`repro.concurrency.fork`) — or
+    directly by tests.  The *resolver* side calls :meth:`resolve` exactly
+    once; the *claimer* side calls :meth:`claim` any number of times.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        ptype: Optional[PromiseType] = None,
+        label: str = "",
+    ) -> None:
+        if ptype is not None and not isinstance(ptype, PromiseType):
+            raise TypeError("ptype must be a PromiseType, got %r" % (ptype,))
+        self.env = env
+        self.ptype = ptype
+        self.label = label
+        self.promise_id = next(_promise_ids)
+        self._outcome: Optional[Outcome] = None
+        self._waiters: List[Event] = []
+        #: Number of claim operations performed (used by benchmarks).
+        self.claim_count = 0
+
+    def __repr__(self) -> str:
+        tag = " %r" % self.label if self.label else ""
+        return "<Promise #%d%s %s>" % (self.promise_id, tag, self.state)
+
+    # ------------------------------------------------------------------
+    # Claimer-side interface
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """``'blocked'`` or ``'ready'``."""
+        return READY if self._outcome is not None else BLOCKED
+
+    def ready(self) -> bool:
+        """The paper's ``ready`` operation: non-blocking readiness probe."""
+        return self._outcome is not None
+
+    def outcome(self) -> Outcome:
+        """The stored outcome; raises :class:`PromiseNotReady` if blocked."""
+        if self._outcome is None:
+            raise PromiseNotReady("promise %r is not ready" % self)
+        return self._outcome
+
+    def claim(self) -> Event:
+        """The paper's ``claim`` operation, as a yieldable event.
+
+        From a simulated process::
+
+            value = yield promise.claim()
+
+        The yield blocks until the promise is ready, then delivers the
+        normal result — or raises the call's exception (a user
+        :class:`~repro.core.exceptions.Signal`, ``unavailable`` or
+        ``failure``) into the claiming process.  A promise may be claimed
+        multiple times; the same outcome occurs each time.
+        """
+        self.claim_count += 1
+        event = Event(self.env)
+        if self._outcome is not None:
+            self._deliver(event, self._outcome)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def wait(self) -> Event:
+        """Block until ready, delivering the :class:`Outcome` (never raises).
+
+        Useful for code that wants to inspect the termination condition
+        without exception handling, e.g. the ``synch`` implementation.
+        """
+        event = Event(self.env)
+        if self._outcome is not None:
+            event.succeed(self._outcome)
+        else:
+            self._waiters.append(_OutcomeWaiter(event))  # type: ignore[arg-type]
+        return event
+
+    # ------------------------------------------------------------------
+    # Resolver-side interface
+    # ------------------------------------------------------------------
+    def resolve(self, outcome: Outcome) -> None:
+        """Move the promise from blocked to ready with *outcome*.
+
+        The transition happens at most once; a second resolution is a
+        programming error.  If the promise is typed, the outcome is checked
+        against the promise type; a nonconforming outcome is *replaced* by a
+        ``failure`` outcome (mirroring the paper's treatment of decode
+        errors: bad data arriving for a promise becomes
+        ``failure("could not decode")``, never a type hole).
+        """
+        if not isinstance(outcome, Outcome):
+            raise TypeError("resolve requires an Outcome, got %r" % (outcome,))
+        if self._outcome is not None:
+            raise PromiseError(
+                "promise %r is already ready; its value never changes" % self
+            )
+        self._outcome = self._coerce(outcome)
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if isinstance(waiter, _OutcomeWaiter):
+                if not waiter.event.triggered:
+                    waiter.event.succeed(self._outcome)
+            elif not waiter.triggered:
+                self._deliver(waiter, self._outcome)
+
+    def resolve_normal(self, *results: Any) -> None:
+        """Convenience: resolve with a normal outcome."""
+        self.resolve(Outcome.normal(*results))
+
+    def resolve_exceptional(self, exception: ArgusError) -> None:
+        """Convenience: resolve with an exceptional outcome."""
+        self.resolve(Outcome.exceptional(exception))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _coerce(self, outcome: Outcome) -> Outcome:
+        if self.ptype is None:
+            return outcome
+        if outcome.is_normal:
+            try:
+                check_results(self.ptype.returns, outcome.results)
+            except TypeViolation as violation:
+                return Outcome.failure(
+                    "could not decode: %s" % (violation,)
+                )
+            return outcome
+        exc = outcome.exception
+        if isinstance(exc, Signal):
+            declared = self.ptype.signals.get(exc.condition)
+            if declared is None:
+                return Outcome.failure(
+                    "undeclared exception %r raised by call" % exc.condition
+                )
+            sig_args = exc.exception_args()
+            if len(sig_args) != len(declared):
+                return Outcome.failure(
+                    "exception %r has %d results, %d expected"
+                    % (exc.condition, len(sig_args), len(declared))
+                )
+            try:
+                for i, (tp, value) in enumerate(zip(declared, sig_args)):
+                    check_value(tp, value, "exception result %d" % i)
+            except TypeViolation as violation:
+                return Outcome.failure("could not decode: %s" % (violation,))
+        return outcome
+
+    @staticmethod
+    def _deliver(event: Event, outcome: Outcome) -> None:
+        if outcome.is_normal:
+            results = outcome.results
+            if len(results) == 0:
+                event.succeed(None)
+            elif len(results) == 1:
+                event.succeed(results[0])
+            else:
+                event.succeed(results)
+        else:
+            event.defused = True
+            event.fail(outcome.exception)
+
+    # ------------------------------------------------------------------
+    # Combinators (widely useful in examples and composition code)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def all_ready(env: Environment, promises: List["Promise"]) -> Event:
+        """Event firing when every promise in *promises* is ready."""
+        return env.all_of([p.wait() for p in promises])
+
+    @staticmethod
+    def any_ready(env: Environment, promises: List["Promise"]) -> Event:
+        """Event firing when at least one promise is ready."""
+        return env.any_of([p.wait() for p in promises])
+
+    def on_ready(self, callback: Callable[["Promise"], None]) -> None:
+        """Invoke *callback(promise)* once the promise becomes ready.
+
+        This is a runtime-internal hook (the stream receiver uses it to
+        release replies in order); application code should prefer
+        :meth:`claim`.
+        """
+        if self._outcome is not None:
+            callback(self)
+            return
+        event = self.wait()
+
+        def run(_event: Event) -> None:
+            callback(self)
+
+        event.callbacks.append(run)
+
+
+class _OutcomeWaiter:
+    """Tags a waiter event as wanting the raw outcome (no raising)."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+    @property
+    def triggered(self) -> bool:
+        return self.event.triggered

@@ -1,0 +1,27 @@
+"""Value transmission: external representation and codecs (paper §3)."""
+
+from repro.encoding.errors import DecodeError, EncodeError, TransmitError
+from repro.encoding.transmit import ArgsCodec, OutcomeCodec, failing_user_type
+from repro.encoding.xrep import (
+    PortDescriptor,
+    decode_value,
+    decode_values,
+    encode_value,
+    encode_values,
+    type_fingerprint,
+)
+
+__all__ = [
+    "ArgsCodec",
+    "DecodeError",
+    "EncodeError",
+    "OutcomeCodec",
+    "PortDescriptor",
+    "TransmitError",
+    "decode_value",
+    "decode_values",
+    "encode_value",
+    "encode_values",
+    "failing_user_type",
+    "type_fingerprint",
+]

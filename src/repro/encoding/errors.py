@@ -1,0 +1,24 @@
+"""Errors raised by value transmission.
+
+Either encoding or decoding may fail (the paper: user-provided translation
+code "may contain errors").  The runtime maps an :class:`EncodeError` at the
+caller to an immediate ``failure`` exception (no promise is created), and a
+:class:`DecodeError` at the receiver to ``failure("could not decode")`` plus
+a break of the receiving stream.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TransmitError", "EncodeError", "DecodeError"]
+
+
+class TransmitError(Exception):
+    """Base class for value-transmission failures."""
+
+
+class EncodeError(TransmitError):
+    """Translation from internal to external representation failed."""
+
+
+class DecodeError(TransmitError):
+    """Translation from external to internal representation failed."""

@@ -1,0 +1,142 @@
+"""Codecs for call arguments and call outcomes.
+
+The transport ships two kinds of typed payloads: the argument tuple of a
+call (typed by the handler's argument list) and the outcome of a call
+(typed by the handler's results and declared signals).  Both are encoded
+with the external representation of :mod:`repro.encoding.xrep`.
+
+Outcome wire format: a one-byte condition tag —
+
+====  ===========================================
+0     normal; followed by the encoded results
+1     user signal; name string, then its results
+2     ``unavailable``; reason string
+3     ``failure``; reason string
+====  ===========================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.core.exceptions import Failure, Signal, Unavailable
+from repro.core.outcome import Outcome
+from repro.encoding.errors import DecodeError, EncodeError
+from repro.encoding.xrep import decode_value, decode_values, encode_value, encode_values
+from repro.types.signatures import STRING, HandlerType, UserType
+
+__all__ = ["ArgsCodec", "OutcomeCodec", "failing_user_type"]
+
+_TAG_NORMAL = 0
+_TAG_SIGNAL = 1
+_TAG_UNAVAILABLE = 2
+_TAG_FAILURE = 3
+
+
+class ArgsCodec:
+    """Encode/decode a handler call's argument tuple."""
+
+    def __init__(self, handler_type: HandlerType) -> None:
+        self.handler_type = handler_type
+
+    def encode(self, args: Sequence[Any]) -> bytes:
+        """Encode the argument tuple to its external representation."""
+        return encode_values(self.handler_type.args, args)
+
+    def decode(self, data: bytes) -> Tuple[Any, ...]:
+        """Decode an argument tuple; raises DecodeError on bad data."""
+        return decode_values(self.handler_type.args, data)
+
+
+class OutcomeCodec:
+    """Encode/decode a call :class:`~repro.core.outcome.Outcome`."""
+
+    def __init__(self, handler_type: HandlerType) -> None:
+        self.handler_type = handler_type
+
+    def encode(self, outcome: Outcome) -> bytes:
+        """Encode an outcome per the tagged wire format above."""
+        out = bytearray()
+        if outcome.is_normal:
+            out.append(_TAG_NORMAL)
+            out += encode_values(self.handler_type.returns, outcome.results)
+            return bytes(out)
+        exc = outcome.exception
+        if isinstance(exc, Unavailable):
+            out.append(_TAG_UNAVAILABLE)
+            encode_value(STRING, exc.reason, out)
+            return bytes(out)
+        if isinstance(exc, Failure):
+            out.append(_TAG_FAILURE)
+            encode_value(STRING, exc.reason, out)
+            return bytes(out)
+        if isinstance(exc, Signal):
+            declared = self.handler_type.signals.get(exc.condition)
+            if declared is None:
+                raise EncodeError(
+                    "handler raised undeclared exception %r" % (exc.condition,)
+                )
+            out.append(_TAG_SIGNAL)
+            encode_value(STRING, exc.condition, out)
+            out += encode_values(declared, exc.exception_args())
+            return bytes(out)
+        raise EncodeError("cannot encode outcome exception %r" % (exc,))
+
+    def decode(self, data: bytes) -> Outcome:
+        """Decode an outcome; undeclared signals raise DecodeError."""
+        if not data:
+            raise DecodeError("empty outcome payload")
+        tag = data[0]
+        if tag == _TAG_NORMAL:
+            results = decode_values(self.handler_type.returns, data[1:])
+            return Outcome.normal(*results)
+        if tag == _TAG_UNAVAILABLE:
+            reason, offset = decode_value(STRING, data, 1)
+            _expect_consumed(data, offset)
+            return Outcome.exceptional(Unavailable(reason))
+        if tag == _TAG_FAILURE:
+            reason, offset = decode_value(STRING, data, 1)
+            _expect_consumed(data, offset)
+            return Outcome.exceptional(Failure(reason))
+        if tag == _TAG_SIGNAL:
+            name, offset = decode_value(STRING, data, 1)
+            declared = self.handler_type.signals.get(name)
+            if declared is None:
+                raise DecodeError("undeclared exception %r in reply" % (name,))
+            values = []
+            for tp in declared:
+                value, offset = decode_value(tp, data, offset)
+                values.append(value)
+            _expect_consumed(data, offset)
+            return Outcome.exceptional(Signal(name, *values))
+        raise DecodeError("unknown outcome tag %d" % (tag,))
+
+
+def _expect_consumed(data: bytes, offset: int) -> None:
+    if offset != len(data):
+        raise DecodeError("%d trailing bytes in outcome" % (len(data) - offset))
+
+
+def failing_user_type(
+    type_name: str = "fragile",
+    fail_encode: bool = False,
+    fail_decode: bool = False,
+) -> UserType:
+    """A string-backed abstract type whose codec fails on demand.
+
+    Used by tests and the E9 benchmark to inject the paper's "encoding or
+    decoding may fail" events at will: values equal to ``"poison"`` trip the
+    selected stage.
+    """
+
+    def to_external(value: Any) -> str:
+        if fail_encode and value == "poison":
+            raise ValueError("injected encode failure")
+        return str(value)
+
+    def from_external(text: str) -> str:
+        if fail_decode and text == "poison":
+            raise ValueError("injected decode failure")
+        return text
+
+    return UserType(type_name, STRING, to_external, from_external)

@@ -1,0 +1,347 @@
+"""The external representation: a canonical binary wire format.
+
+Arguments and results of handler calls are passed by value: "the data are
+actually sent using an external representation" (paper §3).  This module
+implements that representation for the whole type algebra.  It is a real
+byte format — not a pickle — so that (a) message sizes are honest inputs to
+the network cost model and (b) decoding genuinely re-validates data shape,
+making decode failures a natural, testable event.
+
+Format (big-endian):
+
+=============  =====================================================
+``int``        8-byte signed
+``real``       8-byte IEEE double
+``bool``       1 byte (0/1)
+``char``       length-prefixed UTF-8 (1-byte length)
+``string``     4-byte length + UTF-8 bytes
+``null``       empty
+``array[t]``   4-byte count + elements
+``record``     fields in declared order
+``port``       encoded descriptor (node, address, port id, type hash)
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Sequence, Tuple
+
+from repro.encoding.errors import DecodeError, EncodeError
+from repro.types.signatures import (
+    AnyType,
+    ArrayOf,
+    BoolType,
+    CharType,
+    HandlerType,
+    IntType,
+    NullType,
+    PortRefType,
+    RealType,
+    RecordOf,
+    StringType,
+    Type,
+    UserType,
+)
+
+__all__ = ["encode_value", "decode_value", "encode_values", "decode_values", "PortDescriptor", "type_fingerprint"]
+
+_INT = struct.Struct(">q")
+_REAL = struct.Struct(">d")
+_LEN = struct.Struct(">I")
+
+_INT_MIN = -(2**63)
+_INT_MAX = 2**63 - 1
+
+
+def type_fingerprint(handler_type: HandlerType) -> str:
+    """Stable textual fingerprint of a handler type, for port descriptors."""
+    return handler_type.suffix()
+
+
+class PortDescriptor:
+    """Decoded form of a transmitted port reference.
+
+    "Ports may be sent as arguments and results of remote calls" (§2); the
+    descriptor carries enough to rebind: hosting node, transport address of
+    the port group, port id, and the handler-type fingerprint for checking.
+    """
+
+    __slots__ = ("node", "group_address", "group_id", "port_id", "fingerprint", "handler_type")
+
+    def __init__(
+        self,
+        node: str,
+        group_address: str,
+        group_id: str,
+        port_id: str,
+        fingerprint: str,
+        handler_type: HandlerType = None,
+    ) -> None:
+        self.node = node
+        self.group_address = group_address
+        self.group_id = group_id
+        self.port_id = port_id
+        self.fingerprint = fingerprint
+        self.handler_type = handler_type
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, PortDescriptor)
+            and self.node == other.node
+            and self.group_address == other.group_address
+            and self.group_id == other.group_id
+            and self.port_id == other.port_id
+            and self.fingerprint == other.fingerprint
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (self.node, self.group_address, self.group_id, self.port_id, self.fingerprint)
+        )
+
+    def __repr__(self) -> str:
+        return "<PortDescriptor %s@%s/%s>" % (self.port_id, self.node, self.group_address)
+
+
+def _encode_str(out: bytearray, text: str) -> None:
+    data = text.encode("utf-8")
+    out += _LEN.pack(len(data))
+    out += data
+
+
+def _decode_str(data: bytes, offset: int) -> Tuple[str, int]:
+    if offset + 4 > len(data):
+        raise DecodeError("truncated string length")
+    (length,) = _LEN.unpack_from(data, offset)
+    offset += 4
+    if offset + length > len(data):
+        raise DecodeError("truncated string body")
+    try:
+        return data[offset : offset + length].decode("utf-8"), offset + length
+    except UnicodeDecodeError as exc:
+        raise DecodeError("invalid UTF-8 in string: %s" % exc) from exc
+
+
+def encode_value(tp: Type, value: Any, out: bytearray) -> None:
+    """Append the external representation of *value* (of type *tp*)."""
+    if isinstance(tp, IntType):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise EncodeError("expected int, got %r" % (value,))
+        if not _INT_MIN <= value <= _INT_MAX:
+            raise EncodeError("int out of 64-bit range: %r" % (value,))
+        out += _INT.pack(value)
+        return
+    if isinstance(tp, RealType):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise EncodeError("expected real, got %r" % (value,))
+        out += _REAL.pack(float(value))
+        return
+    if isinstance(tp, BoolType):
+        if not isinstance(value, bool):
+            raise EncodeError("expected bool, got %r" % (value,))
+        out.append(1 if value else 0)
+        return
+    if isinstance(tp, CharType):
+        if not isinstance(value, str) or len(value) != 1:
+            raise EncodeError("expected char, got %r" % (value,))
+        data = value.encode("utf-8")
+        out.append(len(data))
+        out += data
+        return
+    if isinstance(tp, StringType):
+        if not isinstance(value, str):
+            raise EncodeError("expected string, got %r" % (value,))
+        _encode_str(out, value)
+        return
+    if isinstance(tp, NullType):
+        if value is not None:
+            raise EncodeError("expected null, got %r" % (value,))
+        return
+    if isinstance(tp, ArrayOf):
+        if not isinstance(value, (list, tuple)):
+            raise EncodeError("expected array, got %r" % (value,))
+        out += _LEN.pack(len(value))
+        for element in value:
+            encode_value(tp.element, element, out)
+        return
+    if isinstance(tp, RecordOf):
+        if not isinstance(value, dict):
+            raise EncodeError("expected record, got %r" % (value,))
+        expected = tp.field_dict()
+        if set(value.keys()) != set(expected.keys()):
+            raise EncodeError(
+                "record fields %r do not match %r"
+                % (sorted(value.keys()), sorted(expected.keys()))
+            )
+        for fname, ftype in tp.fields:
+            encode_value(ftype, value[fname], out)
+        return
+    if isinstance(tp, UserType):
+        # User-provided translation; any error it raises is an encode error
+        # (the paper: user code "may contain errors").
+        try:
+            external_value = tp.to_external(value)
+        except Exception as exc:
+            raise EncodeError(
+                "user encode for %s failed: %s" % (tp.name(), exc)
+            ) from exc
+        encode_value(tp.external, external_value, out)
+        return
+    if isinstance(tp, PortRefType):
+        descriptor = _port_descriptor_of(value)
+        if descriptor is None:
+            raise EncodeError("expected a port reference, got %r" % (value,))
+        _encode_str(out, descriptor.node)
+        _encode_str(out, descriptor.group_address)
+        _encode_str(out, descriptor.group_id)
+        _encode_str(out, descriptor.port_id)
+        _encode_str(out, descriptor.fingerprint)
+        return
+    if isinstance(tp, AnyType):
+        raise EncodeError("values of type 'any' are not transmissible")
+    raise EncodeError("unknown type descriptor %r" % (tp,))
+
+
+def _port_descriptor_of(value: Any) -> Any:
+    if isinstance(value, PortDescriptor):
+        return value
+    descriptor = getattr(value, "descriptor", None)
+    if isinstance(descriptor, PortDescriptor):
+        return descriptor
+    return None
+
+
+def decode_value(tp: Type, data: bytes, offset: int) -> Tuple[Any, int]:
+    """Decode one value of type *tp* at *offset*; return (value, new offset)."""
+    if isinstance(tp, IntType):
+        if offset + 8 > len(data):
+            raise DecodeError("truncated int")
+        (value,) = _INT.unpack_from(data, offset)
+        return value, offset + 8
+    if isinstance(tp, RealType):
+        if offset + 8 > len(data):
+            raise DecodeError("truncated real")
+        (value,) = _REAL.unpack_from(data, offset)
+        return value, offset + 8
+    if isinstance(tp, BoolType):
+        if offset + 1 > len(data):
+            raise DecodeError("truncated bool")
+        byte = data[offset]
+        if byte not in (0, 1):
+            raise DecodeError("invalid bool byte %r" % (byte,))
+        return bool(byte), offset + 1
+    if isinstance(tp, CharType):
+        if offset + 1 > len(data):
+            raise DecodeError("truncated char length")
+        length = data[offset]
+        offset += 1
+        if offset + length > len(data):
+            raise DecodeError("truncated char body")
+        try:
+            text = data[offset : offset + length].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError("invalid UTF-8 in char: %s" % exc) from exc
+        if len(text) != 1:
+            raise DecodeError("char decoded to %d characters" % len(text))
+        return text, offset + length
+    if isinstance(tp, StringType):
+        return _decode_str(data, offset)
+    if isinstance(tp, NullType):
+        return None, offset
+    if isinstance(tp, ArrayOf):
+        if offset + 4 > len(data):
+            raise DecodeError("truncated array count")
+        (count,) = _LEN.unpack_from(data, offset)
+        offset += 4
+        # Sanity: a bogus count cannot claim more elements than the
+        # remaining bytes could possibly hold.
+        minimum = _min_encoded_size(tp.element)
+        if minimum > 0 and count * minimum > len(data) - offset:
+            raise DecodeError(
+                "array count %d exceeds remaining payload" % (count,)
+            )
+        if count > 2**24:
+            raise DecodeError("array count %d is implausibly large" % (count,))
+        items = []
+        for _ in range(count):
+            element, offset = decode_value(tp.element, data, offset)
+            items.append(element)
+        return items, offset
+    if isinstance(tp, RecordOf):
+        record = {}
+        for fname, ftype in tp.fields:
+            record[fname], offset = decode_value(ftype, data, offset)
+        return record, offset
+    if isinstance(tp, UserType):
+        external_value, offset = decode_value(tp.external, data, offset)
+        try:
+            return tp.from_external(external_value), offset
+        except Exception as exc:
+            raise DecodeError(
+                "user decode for %s failed: %s" % (tp.name(), exc)
+            ) from exc
+    if isinstance(tp, PortRefType):
+        node, offset = _decode_str(data, offset)
+        group_address, offset = _decode_str(data, offset)
+        group_id, offset = _decode_str(data, offset)
+        port_id, offset = _decode_str(data, offset)
+        fingerprint, offset = _decode_str(data, offset)
+        expected = type_fingerprint(tp.handler_type)
+        if fingerprint != expected:
+            raise DecodeError(
+                "port type mismatch: wire says %r, expected %r"
+                % (fingerprint, expected)
+            )
+        return (
+            PortDescriptor(
+                node, group_address, group_id, port_id, fingerprint, tp.handler_type
+            ),
+            offset,
+        )
+    if isinstance(tp, AnyType):
+        raise DecodeError("values of type 'any' are not transmissible")
+    raise DecodeError("unknown type descriptor %r" % (tp,))
+
+
+def _min_encoded_size(tp: Type) -> int:
+    """A lower bound on the encoded size of any value of type *tp*."""
+    if isinstance(tp, (IntType, RealType)):
+        return 8
+    if isinstance(tp, (BoolType, CharType)):
+        return 1
+    if isinstance(tp, (StringType, ArrayOf)):
+        return 4
+    if isinstance(tp, RecordOf):
+        return sum(_min_encoded_size(ftype) for _f, ftype in tp.fields)
+    if isinstance(tp, PortRefType):
+        return 16  # four length-prefixed strings
+    if isinstance(tp, UserType):
+        return _min_encoded_size(tp.external)
+    return 0
+
+
+def encode_values(types: Sequence[Type], values: Sequence[Any]) -> bytes:
+    """Encode a tuple of values (call arguments or results)."""
+    if len(types) != len(values):
+        raise EncodeError(
+            "value count %d does not match type count %d" % (len(values), len(types))
+        )
+    out = bytearray()
+    for tp, value in zip(types, values):
+        encode_value(tp, value, out)
+    return bytes(out)
+
+
+def decode_values(types: Sequence[Type], data: bytes) -> Tuple[Any, ...]:
+    """Decode a tuple of values; the entire buffer must be consumed."""
+    offset = 0
+    values = []
+    for tp in types:
+        value, offset = decode_value(tp, data, offset)
+        values.append(value)
+    if offset != len(data):
+        raise DecodeError(
+            "%d trailing bytes after decoding" % (len(data) - offset)
+        )
+    return tuple(values)

@@ -1,0 +1,39 @@
+"""Agents: the sending ends of streams.
+
+"We use agents to identify activities; agents define the sending ends of
+streams.  An agent has a unique name and belongs to a single entity; there
+can be many agents belonging to the same entity." (§2)
+
+Every process spawned inside a guardian — whether a top-level activity, a
+handler-call process, a fork, or a coenter arm — is associated with its own
+agent, so that "the separate activities [do] not share the same stream".
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = ["Agent"]
+
+_agent_serial = itertools.count(1)
+
+
+class Agent:
+    """A named activity within a guardian; the sending end of streams."""
+
+    __slots__ = ("agent_id", "guardian_name")
+
+    def __init__(self, guardian_name: str, label: str = "") -> None:
+        serial = next(_agent_serial)
+        suffix = label or "a%d" % serial
+        self.guardian_name = guardian_name
+        self.agent_id = "%s/%s#%d" % (guardian_name, suffix, serial)
+
+    def __repr__(self) -> str:
+        return "<Agent %s>" % self.agent_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Agent) and self.agent_id == other.agent_id
+
+    def __hash__(self) -> int:
+        return hash(self.agent_id)

@@ -1,0 +1,194 @@
+"""Per-stream execution of handler calls.
+
+"When a handler call arrives at a guardian, the Argus system will delay its
+execution until all earlier calls on its stream have completed. ...  Note,
+however, that calls on different streams can be processed in parallel."
+(§2.1)
+
+Each stream receiver gets its own :class:`GroupDispatcher`: a FIFO of
+delivered requests drained by a driver process that runs one handler call
+at a time, each in a fresh process with a fresh agent.  Different
+dispatchers (different streams) run concurrently.
+
+Everything observable — port lookup, argument decoding, execution, outcome
+posting — happens inside the sequential driver, so outcomes are produced
+strictly in call order.  That ordering is what makes a decode failure a
+*synchronous* break: every call before the failing one has already
+completed and is unaffected (§2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.core.exceptions import ArgusError, Failure, Signal, Unavailable
+from repro.core.outcome import Outcome
+from repro.encoding.errors import DecodeError
+from repro.encoding.transmit import ArgsCodec, OutcomeCodec
+from repro.sim.process import Interrupt, ProcessKilled
+from repro.streams.receiver import CallDispatcher, StreamReceiver
+from repro.types.signatures import HandlerType
+
+__all__ = ["GroupDispatcher", "normalize_result"]
+
+
+def normalize_result(handler_type: HandlerType, result: Any) -> Outcome:
+    """Turn a handler's Python return value into a normal outcome.
+
+    Zero declared results → the handler must return None; one → any single
+    value; several → a tuple of exactly that length.
+    """
+    count = len(handler_type.returns)
+    if count == 0:
+        if result is not None:
+            return Outcome.failure(
+                "handler returned a value but declares no results"
+            )
+        return Outcome.normal()
+    if count == 1:
+        return Outcome.normal(result)
+    if not isinstance(result, tuple) or len(result) != count:
+        return Outcome.failure(
+            "handler returned %r but declares %d results" % (result, count)
+        )
+    return Outcome.normal(*result)
+
+
+class GroupDispatcher(CallDispatcher):
+    """Sequential executor for the calls of one stream."""
+
+    def __init__(self, guardian: Any, group: Any) -> None:
+        self.guardian = guardian
+        self.group = group
+        self.env = guardian.env
+        self._queue: Deque[Tuple[StreamReceiver, int, str, bytes, str]] = deque()
+        self._driver = None
+        self._stopped = False
+        #: Handler processes currently executing (for orphan destruction).
+        self._running: list = []
+
+    # ------------------------------------------------------------------
+    # CallDispatcher interface
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        receiver: StreamReceiver,
+        seq: int,
+        port_id: str,
+        args_bytes: bytes,
+        kind: str,
+    ) -> None:
+        """Queue one delivered request; starts the driver if idle."""
+        if self._stopped or not self.guardian.alive:
+            return
+        self._queue.append((receiver, seq, port_id, args_bytes, kind))
+        if self._driver is None or self._driver.triggered:
+            runner = self._run_parallel() if self.group.parallel else self._run()
+            self._driver = self.env.process(runner)
+
+    def stop(self, reason: str) -> None:
+        """The stream broke or was superseded: drop queued calls (they are
+        'discarded automatically, so user code never needs to deal with
+        them') and destroy executions already in progress — the orphan
+        destruction of §4.2: "the Argus system guarantees that it will
+        find these computations and destroy them later"."""
+        self._stopped = True
+        self._queue.clear()
+        running, self._running = self._running, []
+        for process in running:
+            if process.is_alive:
+                process.kill("orphaned call destroyed: %s" % reason)
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def _run(self):
+        while self._queue and not self._stopped and self.guardian.alive:
+            receiver, seq, port_id, args_bytes, kind = self._queue.popleft()
+
+            port = self.group.lookup(port_id)
+            if port is None:
+                # The call is an error, but the stream survives.
+                receiver.fail_call(seq, "handler does not exist: %s" % port_id, kind)
+                continue
+            try:
+                args = ArgsCodec(port.handler_type).decode(args_bytes)
+            except DecodeError as exc:
+                # Fails this call and breaks the stream synchronously;
+                # everything before it has already completed.
+                receiver.decode_failure(seq, kind, exc)
+                continue
+
+            overhead = self.guardian.system.process_spawn_overhead
+            if overhead > 0:
+                yield self.env.timeout(overhead)
+            process = self.guardian.spawn_handler(port, args)
+            self._running.append(process)
+            try:
+                result = yield process
+            except Signal as sig:
+                outcome = Outcome.exceptional(sig)
+            except (Unavailable, Failure) as exc:
+                outcome = Outcome.exceptional(type(exc)(*exc.args))
+            except (ProcessKilled, Interrupt):
+                return  # guardian crashed out from under us
+            except Exception as exc:  # a bug in handler code
+                outcome = Outcome.failure("handler crashed: %r" % (exc,))
+            else:
+                outcome = normalize_result(port.handler_type, result)
+            finally_running = [p for p in self._running if p.is_alive]
+            self._running = finally_running
+            receiver.post_outcome(seq, outcome, kind, OutcomeCodec(port.handler_type))
+
+    # ------------------------------------------------------------------
+    # Parallel driver (the §2.1 override)
+    # ------------------------------------------------------------------
+    def _run_parallel(self):
+        """Start every queued call immediately, in its own process.
+
+        The stream receiver re-serializes outcomes, so replies still
+        travel in call order even though execution overlaps.
+        """
+        while self._queue and not self._stopped and self.guardian.alive:
+            receiver, seq, port_id, args_bytes, kind = self._queue.popleft()
+
+            port = self.group.lookup(port_id)
+            if port is None:
+                receiver.fail_call(seq, "handler does not exist: %s" % port_id, kind)
+                continue
+            try:
+                args = ArgsCodec(port.handler_type).decode(args_bytes)
+            except DecodeError as exc:
+                receiver.decode_failure(seq, kind, exc)
+                continue
+
+            overhead = self.guardian.system.process_spawn_overhead
+            if overhead > 0:
+                yield self.env.timeout(overhead)
+            process = self.guardian.spawn_handler(port, args)
+            self._running.append(process)
+            self._hook_completion(process, receiver, seq, kind, port)
+
+    def _hook_completion(self, process, receiver, seq: int, kind: str, port) -> None:
+        def complete(event) -> None:
+            self._running = [p for p in self._running if p.is_alive]
+            if event.ok:
+                outcome = normalize_result(port.handler_type, event.value)
+            else:
+                exc = event.value
+                event.defused = True
+                if isinstance(exc, Signal):
+                    outcome = Outcome.exceptional(exc)
+                elif isinstance(exc, (Unavailable, Failure)):
+                    outcome = Outcome.exceptional(type(exc)(*exc.args))
+                elif isinstance(exc, (ProcessKilled, Interrupt)):
+                    return  # guardian crashed; no reply will be sent
+                else:
+                    outcome = Outcome.failure("handler crashed: %r" % (exc,))
+            receiver.post_outcome(seq, outcome, kind, OutcomeCodec(port.handler_type))
+
+        if process.triggered:
+            complete(process)
+        else:
+            process.callbacks.append(complete)

@@ -1,0 +1,111 @@
+"""The top-level facade: a whole simulated Argus world.
+
+:class:`ArgusSystem` bundles the simulation environment, the network and
+the guardian registry, with the model parameters used throughout the
+benchmarks.  Typical use::
+
+    system = ArgusSystem(latency=5.0, kernel_overhead=0.5)
+    db = system.create_guardian("db")
+    db.create_handler("record_grade", HT, record_grade_impl)
+
+    client = system.create_guardian("client")
+
+    def main(ctx):
+        record = ctx.lookup("db", "record_grade")
+        promise = record.stream("amy", 93)
+        average = yield promise.claim()
+        return average
+
+    process = client.spawn(main)
+    system.run(until=process)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.encoding.xrep import PortDescriptor
+from repro.net.network import Network
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.streams.config import StreamConfig
+
+__all__ = ["ArgusSystem"]
+
+
+class ArgusSystem:
+    """A simulated distributed system of guardians."""
+
+    def __init__(
+        self,
+        latency: float = 1.0,
+        bandwidth: float = float("inf"),
+        kernel_overhead: float = 0.1,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        stream_config: Optional[StreamConfig] = None,
+        process_spawn_overhead: float = 0.0,
+    ) -> None:
+        self.env = Environment()
+        self.rng = RngRegistry(seed)
+        self.network = Network(
+            self.env,
+            latency=latency,
+            bandwidth=bandwidth,
+            kernel_overhead=kernel_overhead,
+            jitter=jitter,
+            loss_rate=loss_rate,
+            rng=self.rng,
+        )
+        self.stream_config = stream_config or StreamConfig()
+        #: Cost of creating a process to run a call (paper §4.3: managing
+        #: many processes "can impose a substantial burden on the system").
+        self.process_spawn_overhead = process_spawn_overhead
+        self.guardians: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # World building
+    # ------------------------------------------------------------------
+    def create_guardian(self, name: str, node: Optional[str] = None):
+        """Create a guardian, by default on its own fresh node."""
+        from repro.entities.guardian import Guardian
+
+        if name in self.guardians:
+            raise ValueError("guardian %r already exists" % (name,))
+        node_name = node or "node:%s" % name
+        try:
+            network_node = self.network.node(node_name)
+        except KeyError:
+            network_node = self.network.add_node(node_name)
+        guardian = Guardian(self, name, network_node)
+        self.guardians[name] = guardian
+        return guardian
+
+    def guardian(self, name: str):
+        """The guardian registered under *name* (KeyError if absent)."""
+        try:
+            return self.guardians[name]
+        except KeyError:
+            raise KeyError("no guardian named %r" % (name,)) from None
+
+    def lookup(
+        self, guardian_name: str, handler_name: str, group: Optional[str] = None
+    ) -> PortDescriptor:
+        """Find a handler's port descriptor by guardian and handler name."""
+        return self.guardian(guardian_name).descriptor(handler_name, group)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation (see :meth:`repro.sim.kernel.Environment.run`)."""
+        return self.env.run(until)
+
+    def stats(self) -> Dict[str, int]:
+        """Network-level counters for benchmark reporting."""
+        return self.network.stats.snapshot()

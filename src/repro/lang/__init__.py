@@ -1,0 +1,31 @@
+"""The mini-Argus language: lexer, parser, type checker, interpreter.
+
+The paper's contribution is *linguistic*; this package reproduces the
+language-level guarantees — promise types derived from handler types,
+statically checked claim sites and except arms — as an executable DSL over
+the runtime (see DESIGN.md §2).
+"""
+
+from repro.lang.errors import LangError, LexError, ParseError, TypeCheckError
+from repro.lang.interp import Interpreter, load_module, run_source
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_module
+from repro.lang.pretty import pretty_expr, pretty_module, pretty_stmt, pretty_type
+from repro.lang.typecheck import check_module
+
+__all__ = [
+    "Interpreter",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "TypeCheckError",
+    "check_module",
+    "load_module",
+    "parse_module",
+    "pretty_expr",
+    "pretty_module",
+    "pretty_stmt",
+    "pretty_type",
+    "run_source",
+    "tokenize",
+]

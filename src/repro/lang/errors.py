@@ -1,0 +1,49 @@
+"""Diagnostics for the mini-Argus language."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["SourcePosition", "LangError", "LexError", "ParseError", "TypeCheckError"]
+
+
+class SourcePosition:
+    """Line/column of a token (1-based)."""
+
+    __slots__ = ("line", "column")
+
+    def __init__(self, line: int, column: int) -> None:
+        self.line = line
+        self.column = column
+
+    def __repr__(self) -> str:
+        return "%d:%d" % (self.line, self.column)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SourcePosition)
+            and self.line == other.line
+            and self.column == other.column
+        )
+
+
+class LangError(Exception):
+    """Base class for all mini-Argus front-end errors."""
+
+    def __init__(self, message: str, pos: Optional[SourcePosition] = None) -> None:
+        if pos is not None:
+            message = "%s: %s" % (pos, message)
+        super().__init__(message)
+        self.pos = pos
+
+
+class LexError(LangError):
+    """Invalid character or malformed literal."""
+
+
+class ParseError(LangError):
+    """Syntax error."""
+
+
+class TypeCheckError(LangError):
+    """Static typing violation."""

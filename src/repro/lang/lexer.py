@@ -1,0 +1,263 @@
+"""Lexer for the mini-Argus language.
+
+The surface syntax follows the paper's Argus/CLU fragments: ``%`` starts a
+comment to end of line, ``:=`` is assignment, ``$`` is the CLU type-operation
+selector (``pt$claim``), and keywords are unreserved-looking lowercase words
+(``stream``, ``fork``, ``coenter``, ``except``, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from repro.lang.errors import LexError, SourcePosition
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    [
+        "guardian",
+        "is",
+        "end",
+        "handler",
+        "proc",
+        "program",
+        "returns",
+        "signals",
+        "signal",
+        "stream",
+        "send",
+        "flush",
+        "synch",
+        "fork",
+        "coenter",
+        "action",
+        "foreach",
+        "begin",
+        "except",
+        "when",
+        "others",
+        "if",
+        "then",
+        "elseif",
+        "else",
+        "while",
+        "do",
+        "for",
+        "in",
+        "return",
+        "true",
+        "false",
+        "nil",
+        "and",
+        "or",
+        "not",
+        "int",
+        "real",
+        "bool",
+        "char",
+        "string",
+        "null",
+        "array",
+        "record",
+        "handlertype",
+        "promise",
+    ]
+)
+
+#: Multi-character operators, longest first.
+_OPERATORS = [
+    ":=",
+    "<=",
+    ">=",
+    "~=",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "(",
+    ")",
+    "[",
+    "]",
+    "{",
+    "}",
+    ",",
+    ":",
+    ".",
+    "$",
+    "#",
+]
+
+
+class Token:
+    """One lexical token."""
+
+    __slots__ = ("kind", "value", "pos")
+
+    def __init__(self, kind: str, value: object, pos: SourcePosition) -> None:
+        self.kind = kind  # 'ident', 'keyword', 'int', 'real', 'string', 'char', 'op', 'eof'
+        self.value = value
+        self.pos = pos
+
+    def __repr__(self) -> str:
+        return "Token(%s, %r, %s)" % (self.kind, self.value, self.pos)
+
+    def matches(self, kind: str, value: Optional[object] = None) -> bool:
+        """Whether this token has *kind* (and *value*, when given)."""
+        return self.kind == kind and (value is None or self.value == value)
+
+
+def _is_digit(ch: str) -> bool:
+    """ASCII digits only: str.isdigit() accepts Unicode digits (e.g. '²')
+    that int()/float() reject."""
+    return "0" <= ch <= "9"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn *source* into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def pos() -> SourcePosition:
+        return SourcePosition(line, column)
+
+    def advance(count: int = 1) -> None:
+        nonlocal index, line, column
+        for _ in range(count):
+            if index < length and source[index] == "\n":
+                line += 1
+                column = 1
+            else:
+                column += 1
+            index += 1
+
+    while index < length:
+        ch = source[index]
+
+        # Whitespace
+        if ch in " \t\r\n":
+            advance()
+            continue
+
+        # Comments: % to end of line
+        if ch == "%":
+            while index < length and source[index] != "\n":
+                advance()
+            continue
+
+        start = pos()
+
+        # Identifiers / keywords
+        if ch.isalpha() or ch == "_":
+            begin = index
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                advance()
+            word = source[begin:index]
+            if word in KEYWORDS:
+                tokens.append(Token("keyword", word, start))
+            else:
+                tokens.append(Token("ident", word, start))
+            continue
+
+        # Numbers: int or real (digits, optional . digits, optional e exp)
+        if _is_digit(ch):
+            begin = index
+            while index < length and _is_digit(source[index]):
+                advance()
+            is_real = False
+            if (
+                index + 1 < length
+                and source[index] == "."
+                and _is_digit(source[index + 1])
+            ):
+                is_real = True
+                advance()
+                while index < length and _is_digit(source[index]):
+                    advance()
+            if index < length and source[index] in "eE":
+                peek = index + 1
+                if peek < length and source[peek] in "+-":
+                    peek += 1
+                if peek < length and _is_digit(source[peek]):
+                    is_real = True
+                    advance(peek - index)
+                    while index < length and _is_digit(source[index]):
+                        advance()
+            text = source[begin:index]
+            if is_real:
+                tokens.append(Token("real", float(text), start))
+            else:
+                tokens.append(Token("int", int(text), start))
+            continue
+
+        # String literals: "..."
+        if ch == '"':
+            advance()
+            chars: List[str] = []
+            while True:
+                if index >= length:
+                    raise LexError("unterminated string literal", start)
+                current = source[index]
+                if current == '"':
+                    advance()
+                    break
+                if current == "\n":
+                    raise LexError("newline in string literal", start)
+                if current == "\\":
+                    advance()
+                    if index >= length:
+                        raise LexError("dangling escape in string", start)
+                    escape = source[index]
+                    mapping = {"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                    if escape not in mapping:
+                        raise LexError("unknown escape \\%s" % escape, pos())
+                    chars.append(mapping[escape])
+                    advance()
+                else:
+                    chars.append(current)
+                    advance()
+            tokens.append(Token("string", "".join(chars), start))
+            continue
+
+        # Char literals: 'c'
+        if ch == "'":
+            advance()
+            if index >= length:
+                raise LexError("unterminated char literal", start)
+            current = source[index]
+            if current == "\\":
+                advance()
+                if index >= length:
+                    raise LexError("dangling escape in char", start)
+                escape = source[index]
+                mapping = {"n": "\n", "t": "\t", "'": "'", "\\": "\\"}
+                if escape not in mapping:
+                    raise LexError("unknown escape \\%s" % escape, pos())
+                value = mapping[escape]
+                advance()
+            else:
+                value = current
+                advance()
+            if index >= length or source[index] != "'":
+                raise LexError("unterminated char literal", start)
+            advance()
+            tokens.append(Token("char", value, start))
+            continue
+
+        # Operators
+        for op in _OPERATORS:
+            if source.startswith(op, index):
+                advance(len(op))
+                tokens.append(Token("op", op, start))
+                break
+        else:
+            raise LexError("unexpected character %r" % ch, start)
+
+    tokens.append(Token("eof", None, pos()))
+    return tokens

@@ -1,0 +1,702 @@
+"""Recursive-descent parser for the mini-Argus language.
+
+Produces a :class:`~repro.lang.ast.Module`.  Type expressions are resolved
+to :mod:`repro.types` descriptors during parsing; equates (type
+abbreviations like ``pt = promise returns (real)``) must appear before
+their first use, as they do in the paper's figures.
+
+Grammar overview (see tests/lang for worked examples)::
+
+    module     := (equate | guardian | proc | program)*
+    equate     := IDENT '=' typeexpr
+    guardian   := 'guardian' IDENT 'is' handler* 'end'
+    handler    := 'handler' IDENT '(' params? ')' rets? sigs? block 'end'
+    proc       := 'proc' IDENT '(' params? ')' rets? sigs? block 'end'
+    program    := 'program' IDENT block 'end'
+    stmt       := vardecl | assign | exprstmt | 'stream' call | 'send' call
+                | 'flush' expr | 'synch' expr | 'signal' IDENT args?
+                | 'return' ( '(' exprs ')' )? | if | while | for
+                | 'begin' block 'end' | 'coenter' ('action' block)+ 'end'
+    any stmt may be followed by 'except' when-arms 'end'
+    expr       := precedence-climbing over or/and/cmp/add/mul/unary/postfix
+    primary    := literal | IDENT | '(' expr ')' | '#[' exprs? ']'
+                | 'stream' postfix-call | 'fork' IDENT '(' args ')'
+                | typeexpr '$' IDENT '(' args ')'          (type operation)
+                | typeexpr '$' '{' field: expr, ... '}'    (record construct)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.lang import ast as A
+from repro.lang.errors import ParseError, SourcePosition
+from repro.lang.lexer import Token, tokenize
+from repro.types.signatures import (
+    BOOL,
+    CHAR,
+    INT,
+    NULL,
+    REAL,
+    STRING,
+    ArrayOf,
+    HandlerType,
+    PromiseType,
+    RecordOf,
+    SignatureError,
+    Type,
+)
+
+__all__ = ["parse_module", "Parser"]
+
+#: Keywords that may begin a type expression.
+_TYPE_KEYWORDS = frozenset(
+    ["int", "real", "bool", "char", "string", "null", "array", "record", "handlertype", "promise"]
+)
+
+#: Statement-terminating keywords (end of a block).
+_BLOCK_ENDERS = frozenset(
+    ["end", "when", "else", "elseif", "action", "foreach", "except"]
+)
+
+_COMPARISONS = ("=", "~=", "<", "<=", ">", ">=")
+
+
+def parse_module(source: str) -> A.Module:
+    """Parse *source* into a module."""
+    return Parser(source).module()
+
+
+class Parser:
+    """Recursive-descent parser over the token stream of one module."""
+
+    def __init__(self, source: str) -> None:
+        self._tokens = tokenize(source)
+        self._index = 0
+        self._equates: Dict[str, Type] = {}
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind != "eof":
+            self._index += 1
+        return token
+
+    def _check(self, kind: str, value: Optional[object] = None) -> bool:
+        return self._peek().matches(kind, value)
+
+    def _accept(self, kind: str, value: Optional[object] = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value: Optional[object] = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            wanted = value if value is not None else kind
+            raise ParseError(
+                "expected %r, found %r" % (wanted, token.value if token.value is not None else token.kind),
+                token.pos,
+            )
+        return self._next()
+
+    # ------------------------------------------------------------------
+    # Module structure
+    # ------------------------------------------------------------------
+    def module(self) -> A.Module:
+        """Parse the whole token stream as a module."""
+        pos = self._peek().pos
+        guardians: List[A.GuardianDecl] = []
+        procs: List[A.ProcDecl] = []
+        programs: List[A.ProgramDecl] = []
+        while not self._check("eof"):
+            token = self._peek()
+            if token.matches("keyword", "guardian"):
+                guardians.append(self._guardian())
+            elif token.matches("keyword", "proc"):
+                procs.append(self._proc())
+            elif token.matches("keyword", "program"):
+                programs.append(self._program())
+            elif token.kind == "ident" and self._peek(1).matches("op", "="):
+                self._equate()
+            else:
+                raise ParseError(
+                    "expected a declaration, found %r" % (token.value,), token.pos
+                )
+        return A.Module(dict(self._equates), guardians, procs, programs, pos)
+
+    def _equate(self) -> None:
+        name_token = self._expect("ident")
+        self._expect("op", "=")
+        resolved = self._typeexpr()
+        if name_token.value in self._equates:
+            raise ParseError("duplicate equate %r" % (name_token.value,), name_token.pos)
+        self._equates[name_token.value] = resolved
+
+    def _guardian(self) -> A.GuardianDecl:
+        start = self._expect("keyword", "guardian")
+        name = self._expect("ident").value
+        self._expect("keyword", "is")
+        handlers: List[A.HandlerDecl] = []
+        while self._check("keyword", "handler"):
+            handlers.append(self._handler())
+        self._expect("keyword", "end")
+        return A.GuardianDecl(name, handlers, start.pos)
+
+    def _handler(self) -> A.HandlerDecl:
+        start = self._expect("keyword", "handler")
+        name = self._expect("ident").value
+        params = self._params()
+        returns = self._returns_clause()
+        signals = self._signals_clause()
+        body = self._block(_BLOCK_ENDERS)
+        self._expect("keyword", "end")
+        try:
+            handler_type = HandlerType(
+                args=[tp for _n, tp in params], returns=returns, signals=signals
+            )
+        except SignatureError as exc:
+            raise ParseError(str(exc), start.pos) from exc
+        return A.HandlerDecl(name, params, handler_type, body, start.pos)
+
+    def _proc(self) -> A.ProcDecl:
+        start = self._expect("keyword", "proc")
+        name = self._expect("ident").value
+        params = self._params()
+        returns = self._returns_clause()
+        signals = self._signals_clause()
+        body = self._block(_BLOCK_ENDERS)
+        self._expect("keyword", "end")
+        return A.ProcDecl(name, params, tuple(returns), signals, body, start.pos)
+
+    def _program(self) -> A.ProgramDecl:
+        start = self._expect("keyword", "program")
+        name = self._expect("ident").value
+        params: List[Tuple[str, Type]] = []
+        if self._check("op", "("):
+            params = self._params()
+        body = self._block(_BLOCK_ENDERS)
+        self._expect("keyword", "end")
+        return A.ProgramDecl(name, params, body, start.pos)
+
+    def _params(self) -> List[Tuple[str, Type]]:
+        self._expect("op", "(")
+        params: List[Tuple[str, Type]] = []
+        if not self._check("op", ")"):
+            while True:
+                pname = self._expect("ident").value
+                self._expect("op", ":")
+                ptype = self._typeexpr()
+                params.append((pname, ptype))
+                if not self._accept("op", ","):
+                    break
+        self._expect("op", ")")
+        return params
+
+    def _returns_clause(self) -> List[Type]:
+        if not self._accept("keyword", "returns"):
+            return []
+        self._expect("op", "(")
+        types = [self._typeexpr()]
+        while self._accept("op", ","):
+            types.append(self._typeexpr())
+        self._expect("op", ")")
+        return types
+
+    def _signals_clause(self) -> Dict[str, List[Type]]:
+        signals: Dict[str, List[Type]] = {}
+        if not self._accept("keyword", "signals"):
+            return signals
+        self._expect("op", "(")
+        while True:
+            name_token = self._expect("ident")
+            types: List[Type] = []
+            if self._accept("op", "("):
+                types.append(self._typeexpr())
+                while self._accept("op", ","):
+                    types.append(self._typeexpr())
+                self._expect("op", ")")
+            if name_token.value in signals:
+                raise ParseError("duplicate signal %r" % (name_token.value,), name_token.pos)
+            signals[name_token.value] = types
+            if not self._accept("op", ","):
+                break
+        self._expect("op", ")")
+        return signals
+
+    # ------------------------------------------------------------------
+    # Types
+    # ------------------------------------------------------------------
+    def _typeexpr(self) -> Type:
+        token = self._peek()
+        if token.kind == "keyword":
+            word = token.value
+            if word == "int":
+                self._next()
+                return INT
+            if word == "real":
+                self._next()
+                return REAL
+            if word == "bool":
+                self._next()
+                return BOOL
+            if word == "char":
+                self._next()
+                return CHAR
+            if word == "string":
+                self._next()
+                return STRING
+            if word == "null":
+                self._next()
+                return NULL
+            if word == "array":
+                self._next()
+                self._expect("op", "[")
+                element = self._typeexpr()
+                self._expect("op", "]")
+                return ArrayOf(element)
+            if word == "record":
+                self._next()
+                self._expect("op", "[")
+                fields: Dict[str, Type] = {}
+                while True:
+                    fname = self._expect("ident").value
+                    self._expect("op", ":")
+                    ftype = self._typeexpr()
+                    if fname in fields:
+                        raise ParseError("duplicate record field %r" % (fname,), token.pos)
+                    fields[fname] = ftype
+                    if not self._accept("op", ","):
+                        break
+                self._expect("op", "]")
+                return RecordOf(fields)
+            if word == "handlertype":
+                self._next()
+                self._expect("op", "(")
+                args: List[Type] = []
+                if not self._check("op", ")"):
+                    args.append(self._typeexpr())
+                    while self._accept("op", ","):
+                        args.append(self._typeexpr())
+                self._expect("op", ")")
+                returns = self._returns_clause()
+                signals = self._signals_clause()
+                try:
+                    return HandlerType(args=args, returns=returns, signals=signals)
+                except SignatureError as exc:
+                    raise ParseError(str(exc), token.pos) from exc
+            if word == "promise":
+                self._next()
+                returns = self._returns_clause()
+                signals = self._signals_clause()
+                try:
+                    return PromiseType(returns=returns, signals=signals)
+                except SignatureError as exc:
+                    raise ParseError(str(exc), token.pos) from exc
+            raise ParseError("keyword %r does not start a type" % (word,), token.pos)
+        if token.kind == "ident":
+            # 'queue' is not a keyword so spell it as an identifier type.
+            if token.value == "queue" and self._peek(1).matches("op", "["):
+                self._next()
+                self._expect("op", "[")
+                element = self._typeexpr()
+                self._expect("op", "]")
+                return A.QueueType(element)
+            resolved = self._equates.get(token.value)
+            if resolved is None:
+                raise ParseError("unknown type name %r" % (token.value,), token.pos)
+            self._next()
+            return resolved
+        raise ParseError("expected a type, found %r" % (token.value,), token.pos)
+
+    def _starts_typeexpr(self) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.value in _TYPE_KEYWORDS:
+            return True
+        if token.kind == "ident":
+            if token.value == "queue" and self._peek(1).matches("op", "["):
+                return True
+            return token.value in self._equates and self._peek(1).matches("op", "$")
+        return False
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(self, enders: frozenset) -> A.Block:
+        pos = self._peek().pos
+        statements: List[A._Node] = []
+        while True:
+            token = self._peek()
+            if token.kind == "eof":
+                break
+            if token.kind == "keyword" and token.value in enders:
+                break
+            statements.append(self._statement())
+        return A.Block(statements, pos)
+
+    def _statement(self) -> A._Node:
+        stmt = self._bare_statement()
+        # An except clause may attach to any statement.
+        while self._check("keyword", "except"):
+            start = self._next()
+            arms = self._when_arms()
+            self._expect("keyword", "end")
+            stmt = A.ExceptStmt(stmt, arms, start.pos)
+        return stmt
+
+    def _when_arms(self) -> List[A.WhenArm]:
+        arms: List[A.WhenArm] = []
+        while self._check("keyword", "when"):
+            start = self._next()
+            params: List[Tuple[str, Type]] = []
+            if self._accept("keyword", "others"):
+                names = None
+                if self._check("op", "("):
+                    params = self._params()
+            else:
+                names = [self._expect("ident").value]
+                if self._check("op", "("):
+                    params = self._params()
+                else:
+                    while self._accept("op", ","):
+                        names.append(self._expect("ident").value)
+            self._expect("op", ":")
+            body = self._block(_BLOCK_ENDERS)
+            arms.append(A.WhenArm(names, params, body, start.pos))
+        if not arms:
+            raise ParseError("except requires at least one when arm", self._peek().pos)
+        return arms
+
+    def _bare_statement(self) -> A._Node:
+        token = self._peek()
+        # A statement may begin with a type-operation expression, e.g.
+        # ``array[pt]$addh(a, x)`` — route those to the expression path
+        # before keyword dispatch.
+        if token.kind == "keyword" and self._starts_typeexpr():
+            expr = self._expr()
+            if self._check("op", ":="):
+                self._next()
+                value = self._expr()
+                return A.Assign(expr, value, expr.pos)
+            return A.ExprStmt(expr, expr.pos)
+        if token.kind == "keyword":
+            word = token.value
+            if word == "stream":
+                start = self._next()
+                call = self._call_after_stream(start.pos)
+                return A.StreamStmt(call, start.pos)
+            if word == "send":
+                start = self._next()
+                call = self._call_after_stream(start.pos)
+                return A.SendStmt(call, start.pos)
+            if word == "flush":
+                start = self._next()
+                return A.FlushStmt(self._postfix_expr(), start.pos)
+            if word == "synch":
+                start = self._next()
+                return A.SynchStmt(self._postfix_expr(), start.pos)
+            if word == "signal":
+                start = self._next()
+                name = self._expect("ident").value
+                args: List[A.Expr] = []
+                if self._accept("op", "("):
+                    if not self._check("op", ")"):
+                        args.append(self._expr())
+                        while self._accept("op", ","):
+                            args.append(self._expr())
+                    self._expect("op", ")")
+                return A.SignalStmt(name, args, start.pos)
+            if word == "return":
+                start = self._next()
+                exprs: List[A.Expr] = []
+                if self._accept("op", "("):
+                    if not self._check("op", ")"):
+                        exprs.append(self._expr())
+                        while self._accept("op", ","):
+                            exprs.append(self._expr())
+                    self._expect("op", ")")
+                return A.ReturnStmt(exprs, start.pos)
+            if word == "if":
+                return self._if_stmt()
+            if word == "while":
+                start = self._next()
+                cond = self._expr()
+                self._expect("keyword", "do")
+                body = self._block(_BLOCK_ENDERS)
+                self._expect("keyword", "end")
+                return A.WhileStmt(cond, body, start.pos)
+            if word == "for":
+                start = self._next()
+                var = self._expect("ident").value
+                self._expect("op", ":")
+                var_type = self._typeexpr()
+                self._expect("keyword", "in")
+                iterable = self._expr()
+                self._expect("keyword", "do")
+                body = self._block(_BLOCK_ENDERS)
+                self._expect("keyword", "end")
+                return A.ForStmt(var, var_type, iterable, body, start.pos)
+            if word == "begin":
+                start = self._next()
+                body = self._block(_BLOCK_ENDERS)
+                self._expect("keyword", "end")
+                return A.BeginStmt(body, start.pos)
+            if word == "coenter":
+                start = self._next()
+                arms: List[A.CoenterArm] = []
+                while True:
+                    if self._check("keyword", "action"):
+                        arm_start = self._next()
+                        body = self._block(_BLOCK_ENDERS)
+                        arms.append(A.CoenterArm(body, arm_start.pos))
+                    elif self._check("keyword", "foreach"):
+                        arm_start = self._next()
+                        var = self._expect("ident").value
+                        self._expect("op", ":")
+                        var_type = self._typeexpr()
+                        self._expect("keyword", "in")
+                        iterable = self._expr()
+                        body = self._block(_BLOCK_ENDERS)
+                        arms.append(
+                            A.CoenterArm(
+                                body,
+                                arm_start.pos,
+                                var=var,
+                                var_type=var_type,
+                                iterable=iterable,
+                            )
+                        )
+                    else:
+                        break
+                if not arms:
+                    raise ParseError(
+                        "coenter requires at least one action or foreach arm",
+                        start.pos,
+                    )
+                self._expect("keyword", "end")
+                return A.CoenterStmt(arms, start.pos)
+            raise ParseError("unexpected keyword %r" % (word,), token.pos)
+
+        # Expression-led statements: vardecl, assignment, expression stmt.
+        expr = self._expr()
+        if isinstance(expr, A.VarRef) and self._check("op", ":"):
+            self._next()
+            var_type = self._typeexpr()
+            self._expect("op", ":=")
+            value = self._expr()
+            return A.VarDecl(expr.name, var_type, value, expr.pos)
+        if self._check("op", ":="):
+            self._next()
+            value = self._expr()
+            return A.Assign(expr, value, expr.pos)
+        return A.ExprStmt(expr, expr.pos)
+
+    def _if_stmt(self) -> A.IfStmt:
+        start = self._expect("keyword", "if")
+        arms: List[Tuple[A.Expr, A.Block]] = []
+        cond = self._expr()
+        self._expect("keyword", "then")
+        arms.append((cond, self._block(_BLOCK_ENDERS)))
+        else_block: Optional[A.Block] = None
+        while True:
+            if self._accept("keyword", "elseif"):
+                cond = self._expr()
+                self._expect("keyword", "then")
+                arms.append((cond, self._block(_BLOCK_ENDERS)))
+                continue
+            if self._accept("keyword", "else"):
+                else_block = self._block(_BLOCK_ENDERS)
+            break
+        self._expect("keyword", "end")
+        return A.IfStmt(arms, else_block, start.pos)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _expr(self) -> A.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> A.Expr:
+        left = self._and_expr()
+        while self._check("keyword", "or"):
+            op = self._next()
+            right = self._and_expr()
+            left = A.BinOp("or", left, right, op.pos)
+        return left
+
+    def _and_expr(self) -> A.Expr:
+        left = self._not_expr()
+        while self._check("keyword", "and"):
+            op = self._next()
+            right = self._not_expr()
+            left = A.BinOp("and", left, right, op.pos)
+        return left
+
+    def _not_expr(self) -> A.Expr:
+        if self._check("keyword", "not"):
+            op = self._next()
+            return A.UnOp("not", self._not_expr(), op.pos)
+        return self._comparison()
+
+    def _comparison(self) -> A.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "op" and token.value in _COMPARISONS:
+            self._next()
+            right = self._additive()
+            return A.BinOp(token.value, left, right, token.pos)
+        return left
+
+    def _additive(self) -> A.Expr:
+        left = self._multiplicative()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("+", "-"):
+                self._next()
+                right = self._multiplicative()
+                left = A.BinOp(token.value, left, right, token.pos)
+            else:
+                return left
+
+    def _multiplicative(self) -> A.Expr:
+        left = self._unary()
+        while True:
+            token = self._peek()
+            if token.kind == "op" and token.value in ("*", "/"):
+                self._next()
+                right = self._unary()
+                left = A.BinOp(token.value, left, right, token.pos)
+            else:
+                return left
+
+    def _unary(self) -> A.Expr:
+        token = self._peek()
+        if token.matches("op", "-"):
+            self._next()
+            return A.UnOp("-", self._unary(), token.pos)
+        return self._postfix_expr()
+
+    def _postfix_expr(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            token = self._peek()
+            if token.matches("op", "("):
+                self._next()
+                args: List[A.Expr] = []
+                if not self._check("op", ")"):
+                    args.append(self._expr())
+                    while self._accept("op", ","):
+                        args.append(self._expr())
+                self._expect("op", ")")
+                expr = A.CallExpr(expr, args, token.pos)
+            elif token.matches("op", "["):
+                self._next()
+                index = self._expr()
+                self._expect("op", "]")
+                expr = A.IndexExpr(expr, index, token.pos)
+            elif token.matches("op", "."):
+                self._next()
+                field = self._expect("ident").value
+                expr = A.FieldAccess(expr, field, token.pos)
+            else:
+                return expr
+
+    def _call_after_stream(self, pos: SourcePosition) -> A.CallExpr:
+        expr = self._postfix_expr()
+        if not isinstance(expr, A.CallExpr):
+            raise ParseError("stream/send requires a call", pos)
+        return expr
+
+    def _primary(self) -> A.Expr:
+        token = self._peek()
+
+        # Type-operation / record-construction: typeexpr '$' ...
+        if self._starts_typeexpr():
+            type_pos = token.pos
+            on_type = self._typeexpr()
+            self._expect("op", "$")
+            if self._check("op", "{"):
+                self._next()
+                fields: List[Tuple[str, A.Expr]] = []
+                while True:
+                    fname = self._expect("ident").value
+                    self._expect("op", ":")
+                    fields.append((fname, self._expr()))
+                    if not self._accept("op", ","):
+                        break
+                self._expect("op", "}")
+                return A.RecordConstruct(on_type, fields, type_pos)
+            op_name = self._expect("ident").value
+            self._expect("op", "(")
+            args: List[A.Expr] = []
+            if not self._check("op", ")"):
+                args.append(self._expr())
+                while self._accept("op", ","):
+                    args.append(self._expr())
+            self._expect("op", ")")
+            return A.TypeOpExpr(on_type, op_name, args, type_pos)
+
+        if token.kind == "int":
+            self._next()
+            return A.IntLit(token.value, token.pos)
+        if token.kind == "real":
+            self._next()
+            return A.RealLit(token.value, token.pos)
+        if token.kind == "string":
+            self._next()
+            return A.StringLit(token.value, token.pos)
+        if token.kind == "char":
+            self._next()
+            return A.CharLit(token.value, token.pos)
+        if token.matches("keyword", "true"):
+            self._next()
+            return A.BoolLit(True, token.pos)
+        if token.matches("keyword", "false"):
+            self._next()
+            return A.BoolLit(False, token.pos)
+        if token.matches("keyword", "nil"):
+            self._next()
+            return A.NilLit(token.pos)
+        if token.matches("keyword", "stream"):
+            self._next()
+            call = self._call_after_stream(token.pos)
+            return A.StreamExpr(call, token.pos)
+        if token.matches("keyword", "fork"):
+            self._next()
+            name = self._expect("ident").value
+            self._expect("op", "(")
+            args = []
+            if not self._check("op", ")"):
+                args.append(self._expr())
+                while self._accept("op", ","):
+                    args.append(self._expr())
+            self._expect("op", ")")
+            return A.ForkExpr(name, args, token.pos)
+        if token.matches("op", "#"):
+            self._next()
+            self._expect("op", "[")
+            elements: List[A.Expr] = []
+            if not self._check("op", "]"):
+                elements.append(self._expr())
+                while self._accept("op", ","):
+                    elements.append(self._expr())
+            self._expect("op", "]")
+            return A.ArrayLit(elements, token.pos)
+        if token.matches("op", "("):
+            self._next()
+            expr = self._expr()
+            self._expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            self._next()
+            return A.VarRef(token.value, token.pos)
+        raise ParseError(
+            "expected an expression, found %r" % (token.value if token.value is not None else token.kind),
+            token.pos,
+        )

@@ -1,0 +1,269 @@
+"""Pretty-printer for mini-Argus modules.
+
+Produces source text that re-parses to a structurally identical module —
+the classic front-end round-trip property, verified in
+``tests/lang/test_pretty.py``.  Useful for debugging generated programs
+and for error reporting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.lang import ast as A
+from repro.types.signatures import (
+    ArrayOf,
+    HandlerType,
+    PromiseType,
+    RecordOf,
+    Type,
+)
+
+__all__ = ["pretty_module", "pretty_stmt", "pretty_expr", "pretty_type"]
+
+_INDENT = "  "
+
+
+def pretty_type(tp: Type) -> str:
+    """The source spelling of a type (matches the parser's grammar)."""
+    if isinstance(tp, A.QueueType):
+        return "queue[%s]" % pretty_type(tp.element)
+    if isinstance(tp, ArrayOf):
+        return "array[%s]" % pretty_type(tp.element)
+    if isinstance(tp, RecordOf):
+        inner = ", ".join("%s: %s" % (f, pretty_type(t)) for f, t in tp.fields)
+        return "record[%s]" % inner
+    if isinstance(tp, HandlerType):
+        return "handlertype %s" % _signature_suffix(tp.args, tp.returns, tp.signals)
+    if isinstance(tp, PromiseType):
+        suffix = _signature_suffix(None, tp.returns, tp.signals)
+        return ("promise " + suffix).strip()
+    return tp.name()
+
+
+def _signature_suffix(args, returns, signals) -> str:
+    parts: List[str] = []
+    if args is not None:
+        parts.append("(%s)" % ", ".join(pretty_type(t) for t in args))
+    if returns:
+        parts.append("returns (%s)" % ", ".join(pretty_type(t) for t in returns))
+    if signals:
+        rendered = []
+        for name, types in signals.items():
+            if types:
+                rendered.append("%s(%s)" % (name, ", ".join(pretty_type(t) for t in types)))
+            else:
+                rendered.append(name)
+        parts.append("signals (%s)" % ", ".join(rendered))
+    return " ".join(parts)
+
+
+def _params(params) -> str:
+    return "(%s)" % ", ".join("%s: %s" % (n, pretty_type(t)) for n, t in params)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def pretty_expr(expr: A.Expr) -> str:
+    """The source spelling of one expression (parenthesized binops)."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.RealLit):
+        text = repr(expr.value)
+        return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+    if isinstance(expr, A.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, A.StringLit):
+        escaped = (
+            expr.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\t", "\\t")
+        )
+        return '"%s"' % escaped
+    if isinstance(expr, A.CharLit):
+        mapping = {"\n": "\\n", "\t": "\\t", "'": "\\'", "\\": "\\\\"}
+        return "'%s'" % mapping.get(expr.value, expr.value)
+    if isinstance(expr, A.NilLit):
+        return "nil"
+    if isinstance(expr, A.VarRef):
+        return expr.name
+    if isinstance(expr, A.BinOp):
+        return "(%s %s %s)" % (pretty_expr(expr.left), expr.op, pretty_expr(expr.right))
+    if isinstance(expr, A.UnOp):
+        if expr.op == "not":
+            return "(not %s)" % pretty_expr(expr.operand)
+        return "(-%s)" % pretty_expr(expr.operand)
+    if isinstance(expr, A.CallExpr):
+        return "%s(%s)" % (
+            pretty_expr(expr.callee),
+            ", ".join(pretty_expr(a) for a in expr.args),
+        )
+    if isinstance(expr, A.StreamExpr):
+        return "stream %s" % pretty_expr(expr.call)
+    if isinstance(expr, A.ForkExpr):
+        return "fork %s(%s)" % (
+            expr.proc_name,
+            ", ".join(pretty_expr(a) for a in expr.args),
+        )
+    if isinstance(expr, A.TypeOpExpr):
+        return "%s$%s(%s)" % (
+            pretty_type(expr.on_type),
+            expr.op,
+            ", ".join(pretty_expr(a) for a in expr.args),
+        )
+    if isinstance(expr, A.RecordConstruct):
+        fields = ", ".join("%s: %s" % (f, pretty_expr(e)) for f, e in expr.fields)
+        return "%s${%s}" % (pretty_type(expr.on_type), fields)
+    if isinstance(expr, A.ArrayLit):
+        return "#[%s]" % ", ".join(pretty_expr(e) for e in expr.elements)
+    if isinstance(expr, A.IndexExpr):
+        return "%s[%s]" % (pretty_expr(expr.base), pretty_expr(expr.index))
+    if isinstance(expr, A.FieldAccess):
+        return "%s.%s" % (pretty_expr(expr.base), expr.field)
+    raise TypeError("cannot pretty-print %r" % (expr,))
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def pretty_stmt(stmt: A._Node, depth: int = 0) -> List[str]:
+    """Render one statement as indented source lines."""
+    pad = _INDENT * depth
+    if isinstance(stmt, A.VarDecl):
+        return [
+            "%s%s: %s := %s"
+            % (pad, stmt.name, pretty_type(stmt.var_type), pretty_expr(stmt.expr))
+        ]
+    if isinstance(stmt, A.Assign):
+        return ["%s%s := %s" % (pad, pretty_expr(stmt.target), pretty_expr(stmt.expr))]
+    if isinstance(stmt, A.ExprStmt):
+        return [pad + pretty_expr(stmt.expr)]
+    if isinstance(stmt, A.StreamStmt):
+        return [pad + "stream " + pretty_expr(stmt.call)]
+    if isinstance(stmt, A.SendStmt):
+        return [pad + "send " + pretty_expr(stmt.call)]
+    if isinstance(stmt, A.FlushStmt):
+        return [pad + "flush " + pretty_expr(stmt.handler)]
+    if isinstance(stmt, A.SynchStmt):
+        return [pad + "synch " + pretty_expr(stmt.handler)]
+    if isinstance(stmt, A.SignalStmt):
+        if stmt.args:
+            return [
+                "%ssignal %s(%s)"
+                % (pad, stmt.name, ", ".join(pretty_expr(a) for a in stmt.args))
+            ]
+        return [pad + "signal " + stmt.name]
+    if isinstance(stmt, A.ReturnStmt):
+        return [
+            "%sreturn (%s)" % (pad, ", ".join(pretty_expr(e) for e in stmt.exprs))
+        ]
+    if isinstance(stmt, A.IfStmt):
+        lines: List[str] = []
+        for index, (cond, block) in enumerate(stmt.arms):
+            keyword = "if" if index == 0 else "elseif"
+            lines.append("%s%s %s then" % (pad, keyword, pretty_expr(cond)))
+            lines.extend(_block(block, depth + 1))
+        if stmt.else_block is not None:
+            lines.append(pad + "else")
+            lines.extend(_block(stmt.else_block, depth + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, A.WhileStmt):
+        lines = ["%swhile %s do" % (pad, pretty_expr(stmt.cond))]
+        lines.extend(_block(stmt.body, depth + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, A.ForStmt):
+        lines = [
+            "%sfor %s: %s in %s do"
+            % (pad, stmt.var, pretty_type(stmt.var_type), pretty_expr(stmt.iterable))
+        ]
+        lines.extend(_block(stmt.body, depth + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, A.BeginStmt):
+        lines = [pad + "begin"]
+        lines.extend(_block(stmt.body, depth + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, A.CoenterStmt):
+        lines = [pad + "coenter"]
+        for arm in stmt.arms:
+            if arm.is_foreach:
+                lines.append(
+                    "%sforeach %s: %s in %s"
+                    % (pad, arm.var, pretty_type(arm.var_type), pretty_expr(arm.iterable))
+                )
+            else:
+                lines.append(pad + "action")
+            lines.extend(_block(arm.body, depth + 1))
+        lines.append(pad + "end")
+        return lines
+    if isinstance(stmt, A.ExceptStmt):
+        lines = pretty_stmt(stmt.body, depth)
+        lines[-1] = lines[-1] + " except"
+        for arm in stmt.arms:
+            if arm.is_others:
+                head = "others"
+            else:
+                head = ", ".join(arm.names)
+            if arm.params:
+                head += _params(arm.params)
+            lines.append("%swhen %s:" % (pad + _INDENT, head))
+            lines.extend(_block(arm.body, depth + 2))
+        lines.append(pad + "end")
+        return lines
+    raise TypeError("cannot pretty-print statement %r" % (stmt,))
+
+
+def _block(block: A.Block, depth: int) -> List[str]:
+    lines: List[str] = []
+    for stmt in block.statements:
+        lines.extend(pretty_stmt(stmt, depth))
+    return lines
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+def pretty_module(module: A.Module) -> str:
+    """Render a whole module as re-parseable source."""
+    lines: List[str] = []
+    for name, tp in module.equates.items():
+        lines.append("%s = %s" % (name, pretty_type(tp)))
+    if module.equates:
+        lines.append("")
+    for guardian in module.guardians:
+        lines.append("guardian %s is" % guardian.name)
+        for handler in guardian.handlers:
+            suffix = _signature_suffix(
+                None, handler.handler_type.returns, handler.handler_type.signals
+            )
+            head = "%shandler %s %s" % (_INDENT, handler.name, _params(handler.params))
+            if suffix:
+                head += " " + suffix
+            lines.append(head)
+            lines.extend(_block(handler.body, 2))
+            lines.append(_INDENT + "end")
+        lines.append("end")
+        lines.append("")
+    for proc in module.procs:
+        suffix = _signature_suffix(None, proc.returns, proc.signals)
+        head = "proc %s %s" % (proc.name, _params(proc.params))
+        if suffix:
+            head += " " + suffix
+        lines.append(head)
+        lines.extend(_block(proc.body, 1))
+        lines.append("end")
+        lines.append("")
+    for program in module.programs:
+        head = "program %s" % program.name
+        if program.params:
+            head += " " + _params(program.params)
+        lines.append(head)
+        lines.extend(_block(program.body, 1))
+        lines.append("end")
+        lines.append("")
+    return "\n".join(lines)

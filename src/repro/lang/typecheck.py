@@ -1,0 +1,818 @@
+"""Static type checker for the mini-Argus language.
+
+This pass is the reproduction of the paper's central typing claims:
+
+* every handler/port is strongly typed; call arguments are checked against
+  the handler type at compile time;
+* ``stream h(args)`` has exactly the promise type derived from ``h``'s
+  handler type ("Associated with each handler type is a related promise
+  type");
+* ``pt$claim(x)`` yields the promise's result type, and the ``except
+  when`` arms around it may only name exceptions the claimed call can
+  actually raise — plus the implicit ``unavailable`` and ``failure`` every
+  remote call carries, and ``exception_reply`` for ``synch``;
+* ``signal name(args)`` inside a handler/procedure must match a declared
+  signal of its signature.
+
+Because all of this is checked statically, the interpreter never needs a
+MultiLisp-style "is this value a future?" test — the E7 benchmark point.
+
+Expression nodes are annotated in place: ``inferred_type`` (a
+:mod:`repro.types` descriptor), ``resolution`` (interpreter dispatch tag)
+and ``resolved`` (payload).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lang import ast as A
+from repro.lang.errors import TypeCheckError
+from repro.types.signatures import (
+    ANY,
+    BOOL,
+    CHAR,
+    INT,
+    NULL,
+    REAL,
+    STRING,
+    AnyType,
+    ArrayOf,
+    HandlerType,
+    IntType,
+    NullType,
+    PromiseType,
+    RealType,
+    RecordOf,
+    StringType,
+    Type,
+)
+
+__all__ = ["check_module", "TypeChecker"]
+
+#: Conditions any remote call can produce (implicitly declared everywhere).
+_IMPLICIT = ("unavailable", "failure")
+
+#: Builtin procedures: name -> (min_args, max_args or None, result type).
+#: Argument checking for these is ad hoc in _check_builtin.
+_BUILTINS = frozenset(["make_string", "to_string", "sleep", "trunc", "float"])
+
+
+def check_module(module: A.Module) -> None:
+    """Type-check *module*; raises :class:`TypeCheckError` on violation."""
+    TypeChecker(module).check()
+
+
+class _Env:
+    """Lexically scoped variable environment."""
+
+    def __init__(self, parent: Optional["_Env"] = None) -> None:
+        self.parent = parent
+        self.names: Dict[str, Type] = {}
+
+    def declare(self, name: str, tp: Type, node: A._Node) -> None:
+        if name in self.names:
+            raise TypeCheckError("redeclaration of %r" % (name,), node.pos)
+        self.names[name] = tp
+
+    def lookup(self, name: str) -> Optional[Type]:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.names:
+                return env.names[name]
+            env = env.parent
+        return None
+
+    def child(self) -> "_Env":
+        return _Env(self)
+
+
+class _Routine:
+    """What the enclosing routine (handler/proc/program) allows."""
+
+    def __init__(
+        self,
+        kind: str,  # 'handler' | 'proc' | 'program'
+        returns: Tuple[Type, ...],
+        signals: Dict[str, Tuple[Type, ...]],
+    ) -> None:
+        self.kind = kind
+        self.returns = returns
+        self.signals = signals
+
+
+def _assignable(target: Type, source: Type) -> bool:
+    """May a value of *source* type be used where *target* is expected?"""
+    if isinstance(target, AnyType) or isinstance(source, AnyType):
+        return True
+    if target == source:
+        return True
+    # Widening: int where real expected (the paper's `1.0 * total` idiom
+    # notwithstanding, arithmetic mixing is pervasive in the figures).
+    if isinstance(target, RealType) and isinstance(source, IntType):
+        return True
+    if isinstance(target, ArrayOf) and isinstance(source, ArrayOf):
+        # The empty literal #[] has element type `any`.
+        if isinstance(source.element, AnyType):
+            return True
+        return _assignable(target.element, source.element)
+    return False
+
+
+def _is_numeric(tp: Type) -> bool:
+    return isinstance(tp, (IntType, RealType))
+
+
+class TypeChecker:
+    """Single-pass static checker; annotates the AST in place."""
+
+    def __init__(self, module: A.Module) -> None:
+        self.module = module
+        self.handler_types: Dict[str, Dict[str, HandlerType]] = {}
+        self.procs: Dict[str, A.ProcDecl] = {}
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def check(self) -> None:
+        """Check every declaration; raises TypeCheckError on violation."""
+        names: Set[str] = set()
+        for guardian in self.module.guardians:
+            if guardian.name in names:
+                raise TypeCheckError("duplicate name %r" % guardian.name, guardian.pos)
+            names.add(guardian.name)
+            table: Dict[str, HandlerType] = {}
+            for handler in guardian.handlers:
+                if handler.name in table:
+                    raise TypeCheckError(
+                        "duplicate handler %r" % handler.name, handler.pos
+                    )
+                table[handler.name] = handler.handler_type
+            self.handler_types[guardian.name] = table
+        for proc in self.module.procs:
+            if proc.name in names or proc.name in self.procs:
+                raise TypeCheckError("duplicate name %r" % proc.name, proc.pos)
+            self.procs[proc.name] = proc
+
+        for guardian in self.module.guardians:
+            for handler in guardian.handlers:
+                self._check_routine(
+                    handler.params,
+                    handler.body,
+                    _Routine(
+                        "handler",
+                        handler.handler_type.returns,
+                        handler.handler_type.signals,
+                    ),
+                )
+        for proc in self.module.procs:
+            signals = {name: tuple(types) for name, types in proc.signals.items()}
+            self._check_routine(
+                proc.params, proc.body, _Routine("proc", proc.returns, signals)
+            )
+        for program in self.module.programs:
+            self._check_routine(
+                program.params, program.body, _Routine("program", (), {})
+            )
+
+    def _check_routine(
+        self,
+        params: List[Tuple[str, Type]],
+        body: A.Block,
+        routine: _Routine,
+    ) -> None:
+        env = _Env()
+        for name, tp in params:
+            env.declare(name, tp, body)
+        self._check_block(body, env.child(), routine)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _check_block(self, block: A.Block, env: _Env, routine: _Routine) -> None:
+        for stmt in block.statements:
+            self._check_stmt(stmt, env, routine)
+
+    def _check_stmt(self, stmt: A._Node, env: _Env, routine: _Routine) -> None:
+        if isinstance(stmt, A.VarDecl):
+            value_type = self._check_expr(stmt.expr, env)
+            if not _assignable(stmt.var_type, value_type):
+                raise TypeCheckError(
+                    "cannot initialize %s: %s from %s"
+                    % (stmt.name, stmt.var_type.name(), value_type.name()),
+                    stmt.pos,
+                )
+            env.declare(stmt.name, stmt.var_type, stmt)
+            return
+        if isinstance(stmt, A.Assign):
+            target_type = self._check_lvalue(stmt.target, env)
+            value_type = self._check_expr(stmt.expr, env)
+            if not _assignable(target_type, value_type):
+                raise TypeCheckError(
+                    "cannot assign %s to %s" % (value_type.name(), target_type.name()),
+                    stmt.pos,
+                )
+            return
+        if isinstance(stmt, A.ExprStmt):
+            self._check_expr(stmt.expr, env)
+            return
+        if isinstance(stmt, A.StreamStmt):
+            self._check_remote_call(stmt.call, env)
+            return
+        if isinstance(stmt, A.SendStmt):
+            self._check_remote_call(stmt.call, env)
+            return
+        if isinstance(stmt, (A.FlushStmt, A.SynchStmt)):
+            handler_type = self._check_expr(stmt.handler, env)
+            if not isinstance(handler_type, HandlerType):
+                raise TypeCheckError(
+                    "flush/synch requires a handler, got %s" % handler_type.name(),
+                    stmt.pos,
+                )
+            return
+        if isinstance(stmt, A.SignalStmt):
+            if routine.kind == "program":
+                raise TypeCheckError(
+                    "signal is not allowed in a program (no caller to catch it)",
+                    stmt.pos,
+                )
+            declared = routine.signals.get(stmt.name)
+            if declared is None:
+                raise TypeCheckError(
+                    "signal %r is not declared by this routine" % (stmt.name,),
+                    stmt.pos,
+                )
+            if len(stmt.args) != len(declared):
+                raise TypeCheckError(
+                    "signal %r takes %d results, %d given"
+                    % (stmt.name, len(declared), len(stmt.args)),
+                    stmt.pos,
+                )
+            for arg, expected in zip(stmt.args, declared):
+                actual = self._check_expr(arg, env)
+                if not _assignable(expected, actual):
+                    raise TypeCheckError(
+                        "signal %r result: expected %s, got %s"
+                        % (stmt.name, expected.name(), actual.name()),
+                        arg.pos,
+                    )
+            return
+        if isinstance(stmt, A.ReturnStmt):
+            if routine.kind == "program":
+                if len(stmt.exprs) > 1:
+                    raise TypeCheckError(
+                        "a program may return at most one value", stmt.pos
+                    )
+                for expr in stmt.exprs:
+                    self._check_expr(expr, env)
+                return
+            if len(stmt.exprs) != len(routine.returns):
+                raise TypeCheckError(
+                    "return has %d values, routine declares %d"
+                    % (len(stmt.exprs), len(routine.returns)),
+                    stmt.pos,
+                )
+            for expr, expected in zip(stmt.exprs, routine.returns):
+                actual = self._check_expr(expr, env)
+                if not _assignable(expected, actual):
+                    raise TypeCheckError(
+                        "return value: expected %s, got %s"
+                        % (expected.name(), actual.name()),
+                        expr.pos,
+                    )
+            return
+        if isinstance(stmt, A.IfStmt):
+            for cond, block in stmt.arms:
+                cond_type = self._check_expr(cond, env)
+                if not isinstance(cond_type, type(BOOL)):
+                    raise TypeCheckError(
+                        "if condition must be bool, got %s" % cond_type.name(),
+                        cond.pos,
+                    )
+                self._check_block(block, env.child(), routine)
+            if stmt.else_block is not None:
+                self._check_block(stmt.else_block, env.child(), routine)
+            return
+        if isinstance(stmt, A.WhileStmt):
+            cond_type = self._check_expr(stmt.cond, env)
+            if not isinstance(cond_type, type(BOOL)):
+                raise TypeCheckError(
+                    "while condition must be bool, got %s" % cond_type.name(),
+                    stmt.cond.pos,
+                )
+            self._check_block(stmt.body, env.child(), routine)
+            return
+        if isinstance(stmt, A.ForStmt):
+            iterable_type = self._check_expr(stmt.iterable, env)
+            if not isinstance(iterable_type, ArrayOf):
+                raise TypeCheckError(
+                    "for iterates arrays, got %s" % iterable_type.name(),
+                    stmt.iterable.pos,
+                )
+            if not _assignable(stmt.var_type, iterable_type.element):
+                raise TypeCheckError(
+                    "loop variable %s: %s cannot hold elements of %s"
+                    % (stmt.var, stmt.var_type.name(), iterable_type.name()),
+                    stmt.pos,
+                )
+            body_env = env.child()
+            body_env.declare(stmt.var, stmt.var_type, stmt)
+            self._check_block(stmt.body, body_env, routine)
+            return
+        if isinstance(stmt, A.BeginStmt):
+            self._check_block(stmt.body, env.child(), routine)
+            return
+        if isinstance(stmt, A.CoenterStmt):
+            for arm in stmt.arms:
+                arm_env = env.child()
+                if arm.is_foreach:
+                    iterable_type = self._check_expr(arm.iterable, env)
+                    if not isinstance(iterable_type, ArrayOf):
+                        raise TypeCheckError(
+                            "foreach iterates arrays, got %s"
+                            % iterable_type.name(),
+                            arm.iterable.pos,
+                        )
+                    if not _assignable(arm.var_type, iterable_type.element):
+                        raise TypeCheckError(
+                            "foreach variable %s: %s cannot hold elements of %s"
+                            % (arm.var, arm.var_type.name(), iterable_type.name()),
+                            arm.pos,
+                        )
+                    arm_env.declare(arm.var, arm.var_type, arm)
+                self._check_block(arm.body, arm_env, routine)
+            return
+        if isinstance(stmt, A.ExceptStmt):
+            self._check_stmt(stmt.body, env, routine)
+            possible = self._possible_conditions(stmt.body)
+            for arm in stmt.arms:
+                self._check_when_arm(arm, possible, env, routine)
+            return
+        raise TypeCheckError("unknown statement %r" % (stmt,), stmt.pos)
+
+    def _check_when_arm(
+        self,
+        arm: A.WhenArm,
+        possible: Dict[str, Tuple[Type, ...]],
+        env: _Env,
+        routine: _Routine,
+    ) -> None:
+        arm_env = env.child()
+        if arm.is_others:
+            # others may bind at most one string (the reason text).
+            if len(arm.params) > 1:
+                raise TypeCheckError("others binds at most one value", arm.pos)
+            for name, tp in arm.params:
+                if not isinstance(tp, StringType):
+                    raise TypeCheckError(
+                        "others binds a string reason, not %s" % tp.name(), arm.pos
+                    )
+                arm_env.declare(name, tp, arm)
+        else:
+            for name in arm.names:
+                if name in _IMPLICIT or name == "exception_reply":
+                    declared: Tuple[Type, ...] = (STRING,) if name in _IMPLICIT else ()
+                elif name in possible:
+                    declared = possible[name]
+                else:
+                    raise TypeCheckError(
+                        "no call in this statement can signal %r (it would be "
+                        "dead code; promises are strongly typed)" % (name,),
+                        arm.pos,
+                    )
+                if arm.params:
+                    if len(arm.params) != len(declared):
+                        raise TypeCheckError(
+                            "when %s binds %d values but the exception has %d"
+                            % (name, len(arm.params), len(declared)),
+                            arm.pos,
+                        )
+                    for (pname, ptp), expected in zip(arm.params, declared):
+                        if not _assignable(ptp, expected):
+                            raise TypeCheckError(
+                                "when %s: parameter %s has type %s, exception "
+                                "carries %s"
+                                % (name, pname, ptp.name(), expected.name()),
+                                arm.pos,
+                            )
+            for pname, ptp in arm.params:
+                arm_env.declare(pname, ptp, arm)
+        self._check_block(arm.body, arm_env, routine)
+
+    # ------------------------------------------------------------------
+    # Exception-condition analysis for except arms
+    # ------------------------------------------------------------------
+    def _possible_conditions(self, node: A._Node) -> Dict[str, Tuple[Type, ...]]:
+        """Every user condition some call under *node* can raise."""
+        found: Dict[str, Tuple[Type, ...]] = {}
+
+        def merge(signals: Dict[str, Tuple[Type, ...]], pos) -> None:
+            for name, types in signals.items():
+                existing = found.get(name)
+                types = tuple(types)
+                if existing is not None and existing != types:
+                    raise TypeCheckError(
+                        "condition %r is raised with differing result types "
+                        "in one statement; disambiguate the except arms" % (name,),
+                        pos,
+                    )
+                found[name] = types
+
+        def walk(node: A._Node) -> None:
+            if isinstance(node, A.CallExpr):
+                callee_type = getattr(node.callee, "inferred_type", None)
+                if isinstance(callee_type, HandlerType):
+                    merge(callee_type.signals, node.pos)
+            if isinstance(node, A.TypeOpExpr) and node.op == "claim":
+                if isinstance(node.on_type, PromiseType):
+                    merge(node.on_type.signals, node.pos)
+            if isinstance(node, A.ForkExpr):
+                proc = self.procs.get(node.proc_name)
+                if proc is not None:
+                    # fork itself raises nothing; claiming its promise does.
+                    pass
+            if isinstance(node, A.SynchStmt):
+                merge({"exception_reply": ()}, node.pos)
+            for child in _children(node):
+                walk(child)
+
+        walk(node)
+        return found
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _check_lvalue(self, expr: A.Expr, env: _Env) -> Type:
+        if isinstance(expr, A.VarRef):
+            tp = env.lookup(expr.name)
+            if tp is None:
+                raise TypeCheckError("assignment to undeclared %r" % expr.name, expr.pos)
+            expr.inferred_type = tp
+            expr.resolution = "var"
+            return tp
+        if isinstance(expr, (A.IndexExpr, A.FieldAccess)):
+            return self._check_expr(expr, env)
+        raise TypeCheckError("invalid assignment target", expr.pos)
+
+    def _check_expr(self, expr: A.Expr, env: _Env) -> Type:
+        tp = self._infer(expr, env)
+        expr.inferred_type = tp
+        return tp
+
+    def _infer(self, expr: A.Expr, env: _Env) -> Type:
+        if isinstance(expr, A.IntLit):
+            return INT
+        if isinstance(expr, A.RealLit):
+            return REAL
+        if isinstance(expr, A.BoolLit):
+            return BOOL
+        if isinstance(expr, A.StringLit):
+            return STRING
+        if isinstance(expr, A.CharLit):
+            return CHAR
+        if isinstance(expr, A.NilLit):
+            return NULL
+        if isinstance(expr, A.VarRef):
+            tp = env.lookup(expr.name)
+            if tp is not None:
+                expr.resolution = "var"
+                return tp
+            if expr.name in self.handler_types:
+                raise TypeCheckError(
+                    "guardian %r is not a value; use %s.<handler>"
+                    % (expr.name, expr.name),
+                    expr.pos,
+                )
+            if expr.name in self.procs or expr.name in _BUILTINS:
+                raise TypeCheckError(
+                    "%r must be called, not referenced" % (expr.name,), expr.pos
+                )
+            raise TypeCheckError("undeclared identifier %r" % (expr.name,), expr.pos)
+        if isinstance(expr, A.FieldAccess):
+            if isinstance(expr.base, A.VarRef) and env.lookup(expr.base.name) is None:
+                guardian_table = self.handler_types.get(expr.base.name)
+                if guardian_table is not None:
+                    handler_type = guardian_table.get(expr.field)
+                    if handler_type is None:
+                        raise TypeCheckError(
+                            "guardian %r has no handler %r"
+                            % (expr.base.name, expr.field),
+                            expr.pos,
+                        )
+                    expr.resolution = "handler"
+                    expr.resolved = (expr.base.name, expr.field, handler_type)
+                    return handler_type
+            base_type = self._check_expr(expr.base, env)
+            if not isinstance(base_type, RecordOf):
+                raise TypeCheckError(
+                    "field access on non-record %s" % base_type.name(), expr.pos
+                )
+            fields = base_type.field_dict()
+            if expr.field not in fields:
+                raise TypeCheckError(
+                    "record %s has no field %r" % (base_type.name(), expr.field),
+                    expr.pos,
+                )
+            expr.resolution = "field"
+            return fields[expr.field]
+        if isinstance(expr, A.IndexExpr):
+            base_type = self._check_expr(expr.base, env)
+            if not isinstance(base_type, ArrayOf):
+                raise TypeCheckError(
+                    "indexing non-array %s" % base_type.name(), expr.pos
+                )
+            index_type = self._check_expr(expr.index, env)
+            if not isinstance(index_type, IntType):
+                raise TypeCheckError(
+                    "array index must be int, got %s" % index_type.name(),
+                    expr.index.pos,
+                )
+            return base_type.element
+        if isinstance(expr, A.ArrayLit):
+            if not expr.elements:
+                return ArrayOf(ANY)
+            element_type = self._check_expr(expr.elements[0], env)
+            for element in expr.elements[1:]:
+                other = self._check_expr(element, env)
+                if _assignable(element_type, other):
+                    continue
+                if _assignable(other, element_type):
+                    element_type = other
+                    continue
+                raise TypeCheckError(
+                    "array literal mixes %s and %s"
+                    % (element_type.name(), other.name()),
+                    element.pos,
+                )
+            return ArrayOf(element_type)
+        if isinstance(expr, A.BinOp):
+            return self._infer_binop(expr, env)
+        if isinstance(expr, A.UnOp):
+            operand_type = self._check_expr(expr.operand, env)
+            if expr.op == "-":
+                if not _is_numeric(operand_type):
+                    raise TypeCheckError(
+                        "unary - on %s" % operand_type.name(), expr.pos
+                    )
+                return operand_type
+            if expr.op == "not":
+                if not isinstance(operand_type, type(BOOL)):
+                    raise TypeCheckError(
+                        "not on %s" % operand_type.name(), expr.pos
+                    )
+                return BOOL
+            raise TypeCheckError("unknown unary op %r" % expr.op, expr.pos)
+        if isinstance(expr, A.CallExpr):
+            return self._infer_call(expr, env)
+        if isinstance(expr, A.StreamExpr):
+            handler_type = self._check_remote_call(expr.call, env)
+            return handler_type.promise_type()
+        if isinstance(expr, A.ForkExpr):
+            proc = self.procs.get(expr.proc_name)
+            if proc is None:
+                raise TypeCheckError(
+                    "fork of unknown procedure %r" % (expr.proc_name,), expr.pos
+                )
+            self._check_arg_list(expr.args, [tp for _n, tp in proc.params], env, expr)
+            expr.resolution = "fork"
+            expr.resolved = proc
+            return proc.promise_type()
+        if isinstance(expr, A.TypeOpExpr):
+            return self._infer_typeop(expr, env)
+        if isinstance(expr, A.RecordConstruct):
+            if not isinstance(expr.on_type, RecordOf):
+                raise TypeCheckError(
+                    "record construction on non-record type %s"
+                    % expr.on_type.name(),
+                    expr.pos,
+                )
+            declared = expr.on_type.field_dict()
+            given = [fname for fname, _ in expr.fields]
+            if sorted(given) != sorted(declared.keys()) or len(given) != len(set(given)):
+                raise TypeCheckError(
+                    "record fields %r do not match %r"
+                    % (sorted(given), sorted(declared.keys())),
+                    expr.pos,
+                )
+            for fname, fexpr in expr.fields:
+                actual = self._check_expr(fexpr, env)
+                if not _assignable(declared[fname], actual):
+                    raise TypeCheckError(
+                        "field %s: expected %s, got %s"
+                        % (fname, declared[fname].name(), actual.name()),
+                        fexpr.pos,
+                    )
+            return expr.on_type
+        raise TypeCheckError("unknown expression %r" % (expr,), expr.pos)
+
+    def _infer_binop(self, expr: A.BinOp, env: _Env) -> Type:
+        left = self._check_expr(expr.left, env)
+        right = self._check_expr(expr.right, env)
+        op = expr.op
+        if op in ("and", "or"):
+            if not isinstance(left, type(BOOL)) or not isinstance(right, type(BOOL)):
+                raise TypeCheckError("%s requires bools" % op, expr.pos)
+            return BOOL
+        if op in ("+", "-", "*", "/"):
+            if op == "+" and isinstance(left, StringType) and isinstance(right, StringType):
+                return STRING
+            if not _is_numeric(left) or not _is_numeric(right):
+                raise TypeCheckError(
+                    "%s on %s and %s" % (op, left.name(), right.name()), expr.pos
+                )
+            if op == "/" or isinstance(left, RealType) or isinstance(right, RealType):
+                return REAL
+            return INT
+        if op in _comparison_ops():
+            if _is_numeric(left) and _is_numeric(right):
+                return BOOL
+            if left == right and op in ("=", "~="):
+                return BOOL
+            if left == right and isinstance(left, (StringType, type(CHAR))):
+                return BOOL
+            raise TypeCheckError(
+                "cannot compare %s and %s with %s" % (left.name(), right.name(), op),
+                expr.pos,
+            )
+        raise TypeCheckError("unknown operator %r" % op, expr.pos)
+
+    def _infer_call(self, expr: A.CallExpr, env: _Env) -> Type:
+        callee = expr.callee
+        # Builtins and local procedure calls are name-directed.
+        if isinstance(callee, A.VarRef) and env.lookup(callee.name) is None:
+            if callee.name in _BUILTINS:
+                expr.resolution = "builtin"
+                return self._check_builtin(expr, env)
+            proc = self.procs.get(callee.name)
+            if proc is not None:
+                self._check_arg_list(
+                    expr.args, [tp for _n, tp in proc.params], env, expr
+                )
+                expr.resolution = "proc"
+                expr.resolved = proc
+                if len(proc.returns) == 0:
+                    return NULL
+                if len(proc.returns) == 1:
+                    return proc.returns[0]
+                raise TypeCheckError(
+                    "procedures with multiple results are not callable as "
+                    "expressions",
+                    expr.pos,
+                )
+        handler_type = self._check_expr(callee, env)
+        if isinstance(handler_type, HandlerType):
+            self._check_arg_list(expr.args, list(handler_type.args), env, expr)
+            expr.resolution = "rpc"
+            if len(handler_type.returns) == 0:
+                return NULL
+            if len(handler_type.returns) == 1:
+                return handler_type.returns[0]
+            raise TypeCheckError(
+                "handlers with multiple results are not supported in "
+                "expression position",
+                expr.pos,
+            )
+        raise TypeCheckError(
+            "cannot call a value of type %s" % handler_type.name(), expr.pos
+        )
+
+    def _check_remote_call(self, call: A.CallExpr, env: _Env) -> HandlerType:
+        handler_type = self._check_expr(call.callee, env)
+        if not isinstance(handler_type, HandlerType):
+            raise TypeCheckError(
+                "stream/send requires a handler, got %s" % handler_type.name(),
+                call.pos,
+            )
+        self._check_arg_list(call.args, list(handler_type.args), env, call)
+        call.resolution = "remote"
+        call.inferred_type = handler_type
+        return handler_type
+
+    def _check_arg_list(
+        self,
+        args: List[A.Expr],
+        expected: List[Type],
+        env: _Env,
+        where: A._Node,
+    ) -> None:
+        if len(args) != len(expected):
+            raise TypeCheckError(
+                "call takes %d arguments, %d given" % (len(expected), len(args)),
+                where.pos,
+            )
+        for arg, expected_type in zip(args, expected):
+            actual = self._check_expr(arg, env)
+            if not _assignable(expected_type, actual):
+                raise TypeCheckError(
+                    "argument: expected %s, got %s"
+                    % (expected_type.name(), actual.name()),
+                    arg.pos,
+                )
+
+    def _check_builtin(self, expr: A.CallExpr, env: _Env) -> Type:
+        name = expr.callee.name  # type: ignore[attr-defined]
+        arg_types = [self._check_expr(arg, env) for arg in expr.args]
+        if name == "make_string":
+            if not arg_types:
+                raise TypeCheckError("make_string needs arguments", expr.pos)
+            return STRING
+        if name == "to_string":
+            if len(arg_types) != 1:
+                raise TypeCheckError("to_string takes one argument", expr.pos)
+            return STRING
+        if name == "sleep":
+            if len(arg_types) != 1 or not _is_numeric(arg_types[0]):
+                raise TypeCheckError("sleep takes one numeric argument", expr.pos)
+            return NULL
+        if name == "trunc":
+            if len(arg_types) != 1 or not _is_numeric(arg_types[0]):
+                raise TypeCheckError("trunc takes one numeric argument", expr.pos)
+            return INT
+        if name == "float":
+            if len(arg_types) != 1 or not isinstance(arg_types[0], IntType):
+                raise TypeCheckError("float takes one int argument", expr.pos)
+            return REAL
+        raise TypeCheckError("unknown builtin %r" % name, expr.pos)
+
+    def _infer_typeop(self, expr: A.TypeOpExpr, env: _Env) -> Type:
+        on_type = expr.on_type
+        op = expr.op
+        if isinstance(on_type, PromiseType):
+            if op == "claim":
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "claim"
+                if len(on_type.returns) == 0:
+                    return NULL
+                if len(on_type.returns) == 1:
+                    return on_type.returns[0]
+                raise TypeCheckError(
+                    "claim of multi-result promises is not supported in "
+                    "expression position",
+                    expr.pos,
+                )
+            if op == "ready":
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "ready"
+                return BOOL
+            raise TypeCheckError("promise has no operation %r" % op, expr.pos)
+        if isinstance(on_type, ArrayOf):
+            if op in ("new", "create"):
+                self._check_arg_list(expr.args, [], env, expr)
+                expr.resolution = "array_new"
+                return on_type
+            if op == "addh":
+                self._check_arg_list(expr.args, [on_type, on_type.element], env, expr)
+                expr.resolution = "array_addh"
+                return NULL
+            if op == "len":
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "array_len"
+                return INT
+            if op == "elements":
+                # The CLU elements iterator (paper: info$elements(grades));
+                # our for-loop consumes the array directly.
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "array_elements"
+                return on_type
+            if op == "indexes":
+                # The CLU indexes iterator (paper: averages$indexes(a)).
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "array_indexes"
+                return ArrayOf(INT)
+            raise TypeCheckError("array has no operation %r" % op, expr.pos)
+        if isinstance(on_type, A.QueueType):
+            if op in ("new", "create"):
+                self._check_arg_list(expr.args, [], env, expr)
+                expr.resolution = "queue_new"
+                return on_type
+            if op == "enq":
+                self._check_arg_list(expr.args, [on_type, on_type.element], env, expr)
+                expr.resolution = "queue_enq"
+                return NULL
+            if op == "deq":
+                self._check_arg_list(expr.args, [on_type], env, expr)
+                expr.resolution = "queue_deq"
+                return on_type.element
+            raise TypeCheckError("queue has no operation %r" % op, expr.pos)
+        raise TypeCheckError(
+            "type %s has no operations" % on_type.name(), expr.pos
+        )
+
+
+def _comparison_ops() -> Tuple[str, ...]:
+    return ("=", "~=", "<", "<=", ">", ">=")
+
+
+def _children(node: A._Node):
+    """Yield the AST children of *node* (for the condition analysis)."""
+    for value in node.__dict__.values():
+        if isinstance(value, A._Node):
+            yield value
+        elif isinstance(value, list):
+            for item in value:
+                if isinstance(item, A._Node):
+                    yield item
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, A._Node):
+                            yield sub

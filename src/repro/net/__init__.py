@@ -1,0 +1,17 @@
+"""Simulated network substrate: nodes, cost model, faults (DESIGN.md §2)."""
+
+from repro.net.faults import FaultPlan, schedule_crash, schedule_partition
+from repro.net.message import HEADER_BYTES, Message
+from repro.net.network import Network, NetworkStats, Node, NodeDown
+
+__all__ = [
+    "FaultPlan",
+    "HEADER_BYTES",
+    "Message",
+    "Network",
+    "NetworkStats",
+    "Node",
+    "NodeDown",
+    "schedule_crash",
+    "schedule_partition",
+]

@@ -1,0 +1,99 @@
+"""Fault-injection helpers: scheduled crashes, recoveries and partitions.
+
+The paper's stream semantics are defined largely by their behaviour under
+"problems such as node crashes and network partitions"; these helpers script
+such problems deterministically so that tests and the E9 benchmark can
+exercise break detection and the ``unavailable``/``failure`` mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.net.network import Network
+from repro.sim.kernel import Environment
+
+__all__ = ["FaultPlan", "schedule_crash", "schedule_partition"]
+
+
+def schedule_crash(
+    network: Network,
+    node_name: str,
+    at: float,
+    recover_at: Optional[float] = None,
+) -> None:
+    """Crash *node_name* at simulated time *at*; optionally recover later."""
+    if recover_at is not None and recover_at <= at:
+        raise ValueError("recover_at must be after the crash time")
+    env = network.env
+
+    def script():
+        yield env.timeout(max(0.0, at - env.now))
+        network.node(node_name).crash()
+        if recover_at is not None:
+            yield env.timeout(recover_at - at)
+            network.node(node_name).recover()
+
+    env.process(script())
+
+
+def schedule_partition(
+    network: Network,
+    a: str,
+    b: str,
+    at: float,
+    heal_at: Optional[float] = None,
+) -> None:
+    """Partition nodes *a* and *b* at time *at*; optionally heal later."""
+    if heal_at is not None and heal_at <= at:
+        raise ValueError("heal_at must be after the partition time")
+    env = network.env
+
+    def script():
+        yield env.timeout(max(0.0, at - env.now))
+        network.partition(a, b)
+        if heal_at is not None:
+            yield env.timeout(heal_at - at)
+            network.heal(a, b)
+
+    env.process(script())
+
+
+class FaultPlan:
+    """A declarative schedule of faults, applied to a network at once.
+
+    Example::
+
+        plan = FaultPlan()
+        plan.crash("db", at=50.0, recover_at=80.0)
+        plan.partition("client", "db", at=10.0, heal_at=20.0)
+        plan.apply(network)
+    """
+
+    def __init__(self) -> None:
+        self._crashes: List[Tuple[str, float, Optional[float]]] = []
+        self._partitions: List[Tuple[str, str, float, Optional[float]]] = []
+
+    def crash(
+        self, node_name: str, at: float, recover_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Schedule a crash (and optional recovery) of *node_name*."""
+        self._crashes.append((node_name, at, recover_at))
+        return self
+
+    def partition(
+        self, a: str, b: str, at: float, heal_at: Optional[float] = None
+    ) -> "FaultPlan":
+        """Schedule a partition (and optional heal) between *a* and *b*."""
+        self._partitions.append((a, b, at, heal_at))
+        return self
+
+    def apply(self, network: Network) -> None:
+        """Install every scheduled fault onto *network*."""
+        for node_name, at, recover_at in self._crashes:
+            schedule_crash(network, node_name, at, recover_at)
+        for a, b, at, heal_at in self._partitions:
+            schedule_partition(network, a, b, at, heal_at)
+
+    def __len__(self) -> int:
+        return len(self._crashes) + len(self._partitions)

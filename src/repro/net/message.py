@@ -1,0 +1,72 @@
+"""Network messages and size accounting.
+
+The paper's performance argument for streams is about *physical* messages:
+
+    "Stream calls and their replies, however, are buffered and sent when
+     convenient ...  Buffering allows us to amortize the overhead of kernel
+     calls and the transmission delays for messages over several calls,
+     especially for small calls and replies."
+
+A :class:`Message` is one physical datagram.  Its payload is opaque to the
+network; the transport layer packs one or many call requests / replies /
+acks into it.  Sizes are explicit so the cost model can charge transmission
+time per byte.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+__all__ = ["Message", "HEADER_BYTES"]
+
+#: Fixed per-datagram header cost in bytes (addressing, checksums, ...).
+HEADER_BYTES = 64
+
+_message_ids = itertools.count(1)
+
+
+class Message:
+    """One physical datagram travelling between two nodes."""
+
+    __slots__ = (
+        "msg_id",
+        "src",
+        "dst",
+        "address",
+        "payload",
+        "payload_bytes",
+        "send_time",
+    )
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        address: str,
+        payload: Any,
+        payload_bytes: int,
+    ) -> None:
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be >= 0, got %r" % (payload_bytes,))
+        self.msg_id = next(_message_ids)
+        self.src = src
+        self.dst = dst
+        self.address = address
+        self.payload = payload
+        self.payload_bytes = payload_bytes
+        self.send_time: float = -1.0
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total bytes on the wire including the datagram header."""
+        return HEADER_BYTES + self.payload_bytes
+
+    def __repr__(self) -> str:
+        return "<Message #%d %s->%s/%s %dB>" % (
+            self.msg_id,
+            self.src,
+            self.dst,
+            self.address,
+            self.wire_bytes,
+        )

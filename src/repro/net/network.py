@@ -1,0 +1,291 @@
+"""The simulated network: nodes, links, cost model, delivery.
+
+Substitutes for the real network under Mercury call-streams (DESIGN.md §2).
+The model charges three costs per physical message, matching the overheads
+the paper says buffering amortizes:
+
+* ``kernel_overhead`` — fixed cost paid by the *sender's CPU* for each
+  datagram (the "overhead of kernel calls");
+* transmission time — ``wire_bytes / bandwidth``, also occupying the sender;
+* ``latency`` — propagation delay in flight (plus optional jitter).
+
+Delivery between a pair of nodes is FIFO (jitter never reorders a link);
+loss, partitions and node crashes make the network *unreliable*, so the
+stream transport above it must implement acknowledgements, retransmission
+and deduplication to provide the exactly-once ordered semantics of §2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.net.message import Message
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Network", "Node", "NetworkStats", "NodeDown"]
+
+#: Delivery callbacks receive the message; registered per (node, address).
+DeliveryHandler = Callable[[Message], None]
+
+
+class NodeDown(Exception):
+    """An operation was attempted on a crashed node."""
+
+
+class NetworkStats:
+    """Counters for benchmark reporting."""
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped_loss = 0
+        self.messages_dropped_partition = 0
+        self.messages_dropped_crash = 0
+        self.bytes_sent = 0
+        self.kernel_calls = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
+    def __repr__(self) -> str:
+        return "NetworkStats(%s)" % ", ".join(
+            "%s=%d" % kv for kv in sorted(self.__dict__.items())
+        )
+
+
+class Node:
+    """A network node; guardians (entities) live entirely on one node."""
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.alive = True
+        #: Incarnation increments on every recovery, so stale messages can
+        #: be recognized by higher layers if they care.
+        self.incarnation = 0
+        self._handlers: Dict[str, DeliveryHandler] = {}
+        self._crash_listeners: list = []
+
+    def __repr__(self) -> str:
+        return "<Node %s %s>" % (self.name, "up" if self.alive else "DOWN")
+
+    def register(self, address: str, handler: DeliveryHandler) -> None:
+        """Attach a delivery handler for datagrams addressed to *address*."""
+        if address in self._handlers:
+            raise ValueError("address %r already registered on %s" % (address, self))
+        self._handlers[address] = handler
+
+    def unregister(self, address: str) -> None:
+        """Remove the delivery handler at *address* (idempotent)."""
+        self._handlers.pop(address, None)
+
+    def on_crash(self, listener: Callable[["Node"], None]) -> None:
+        """Register a callback run when this node crashes."""
+        self._crash_listeners.append(listener)
+
+    def crash(self) -> None:
+        """Take the node down; in-flight messages to it will be dropped."""
+        if not self.alive:
+            return
+        self.alive = False
+        for listener in list(self._crash_listeners):
+            listener(self)
+
+    def recover(self) -> None:
+        """Bring the node back up with a new incarnation."""
+        if self.alive:
+            return
+        self.alive = True
+        self.incarnation += 1
+
+    def _deliver(self, message: Message) -> None:
+        handler = self._handlers.get(message.address)
+        if handler is not None:
+            handler(message)
+        # Datagrams to unknown addresses are silently dropped, like UDP.
+
+
+class Network:
+    """The collection of nodes plus the link cost/fault model."""
+
+    def __init__(
+        self,
+        env: Environment,
+        latency: float = 1.0,
+        bandwidth: float = float("inf"),
+        kernel_overhead: float = 0.1,
+        jitter: float = 0.0,
+        loss_rate: float = 0.0,
+        rng: Optional[RngRegistry] = None,
+    ) -> None:
+        if latency < 0 or kernel_overhead < 0 or jitter < 0:
+            raise ValueError("latency, kernel_overhead and jitter must be >= 0")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1), got %r" % (loss_rate,))
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.env = env
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.kernel_overhead = kernel_overhead
+        self.jitter = jitter
+        self.loss_rate = loss_rate
+        self.rng = rng or RngRegistry(0)
+        self.stats = NetworkStats()
+        self._nodes: Dict[str, Node] = {}
+        self._partitions: Set[Tuple[str, str]] = set()
+        self._link_clock: Dict[Tuple[str, str], float] = {}
+        # Per-node "NIC" serialization: kernel calls and transmissions on one
+        # node happen one at a time, so per-message overhead is a genuine
+        # throughput limit that batching amortizes (paper §2).
+        self._nic_free: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_node(self, name: str) -> Node:
+        """Create a node named *name* (unique)."""
+        if name in self._nodes:
+            raise ValueError("node %r already exists" % (name,))
+        node = Node(self, name)
+        self._nodes[name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """The node named *name* (KeyError if absent)."""
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise KeyError("no node named %r" % (name,)) from None
+
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes, in creation order."""
+        return tuple(self._nodes.values())
+
+    # ------------------------------------------------------------------
+    # Partitions
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _pair(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def partition(self, a: str, b: str) -> None:
+        """Sever communication between nodes *a* and *b* (both ways)."""
+        self._partitions.add(self._pair(a, b))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore communication between nodes *a* and *b*."""
+        self._partitions.discard(self._pair(a, b))
+
+    def partitioned(self, a: str, b: str) -> bool:
+        """Whether *a* and *b* currently cannot communicate."""
+        return self._pair(a, b) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def transmission_time(self, message: Message) -> float:
+        """Wire time for *message* at the configured bandwidth."""
+        if self.bandwidth == float("inf"):
+            return 0.0
+        return message.wire_bytes / self.bandwidth
+
+    def send(self, message: Message) -> Event:
+        """Transmit *message*; returns the event of the sender's CPU being
+        free again (after kernel overhead + transmission time).
+
+        Local sends (src == dst) skip the network entirely: no kernel call,
+        no latency — mirroring how Argus optimizes same-guardian calls.
+        """
+        src = self.node(message.src)
+        if not src.alive:
+            raise NodeDown("cannot send from crashed node %r" % (message.src,))
+        message.send_time = self.env.now
+
+        if message.src == message.dst:
+            done = Event(self.env)
+            done.succeed()
+            dst = self.node(message.dst)
+            self.env.process(self._deliver_local(message, dst))
+            return done
+
+        self.stats.messages_sent += 1
+        self.stats.kernel_calls += 1
+        self.stats.bytes_sent += message.wire_bytes
+        busy = self.kernel_overhead + self.transmission_time(message)
+        # The sending NIC handles one message at a time: this message's
+        # kernel call starts only once earlier ones are done.
+        send_start = max(self.env.now, self._nic_free.get(message.src, 0.0))
+        send_done = send_start + busy
+        self._nic_free[message.src] = send_done
+
+        dropped = self._should_drop(message)
+        if not dropped:
+            flight = self.latency
+            if self.jitter:
+                flight += self.rng.stream("net.jitter").uniform(0.0, self.jitter)
+            arrival = send_done + flight
+            # FIFO per directed link: never deliver before an earlier message.
+            link = (message.src, message.dst)
+            arrival = max(arrival, self._link_clock.get(link, 0.0))
+            self._link_clock[link] = arrival
+            dst = self._nodes.get(message.dst)
+            if dst is not None:
+                # The receiving side pays a kernel call too, serialized on
+                # its own NIC — but only after the message has arrived.
+                self.env.process(self._deliver_later(message, dst, arrival))
+
+        done = Event(self.env)
+        if send_done > self.env.now:
+            timer = self.env.timeout(send_done - self.env.now)
+            timer.callbacks.append(lambda _e: done.succeed())
+        else:
+            done.succeed()
+        return done
+
+    def _should_drop(self, message: Message) -> bool:
+        if self.partitioned(message.src, message.dst):
+            self.stats.messages_dropped_partition += 1
+            return True
+        if message.dst not in self._nodes:
+            self.stats.messages_dropped_crash += 1
+            return True
+        if self.loss_rate > 0.0:
+            if self.rng.stream("net.loss").random() < self.loss_rate:
+                self.stats.messages_dropped_loss += 1
+                return True
+        return False
+
+    def _deliver_local(self, message: Message, dst: Node):
+        # Same-node messages skip the network: no kernel call, no latency,
+        # delivered on the next simulation tick.
+        yield self.env.timeout(0.0)
+        if dst.alive:
+            self.stats.messages_delivered += 1
+            dst._deliver(message)
+
+    def _deliver_later(self, message: Message, dst: Node, arrival: float):
+        yield self.env.timeout(max(0.0, arrival - self.env.now))
+        # Re-check conditions at arrival time: a partition or crash that
+        # happened while the message was in flight still eats it.
+        if self.partitioned(message.src, message.dst):
+            self.stats.messages_dropped_partition += 1
+            return
+        if not dst.alive:
+            self.stats.messages_dropped_crash += 1
+            return
+        # Receiving kernel call, serialized on the destination NIC.
+        self.stats.kernel_calls += 1
+        receive_start = max(self.env.now, self._nic_free.get(dst.name, 0.0))
+        receive_done = receive_start + self.kernel_overhead
+        self._nic_free[dst.name] = receive_done
+        if receive_done > self.env.now:
+            yield self.env.timeout(receive_done - self.env.now)
+        if not dst.alive:
+            self.stats.messages_dropped_crash += 1
+            return
+        self.stats.messages_delivered += 1
+        dst._deliver(message)

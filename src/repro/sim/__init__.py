@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel (deterministic substrate).
+
+See :mod:`repro.sim.kernel` for the event loop, :mod:`repro.sim.process`
+for generator-based processes, :mod:`repro.sim.sync` for semaphores,
+condition variables and blocking queues.
+"""
+
+from repro.sim.alarm import Alarm
+from repro.sim.events import AllOf, AnyOf, Condition, ConditionValue, Event, Timeout
+from repro.sim.kernel import EmptySchedule, Environment, Infinity
+from repro.sim.process import Interrupt, Process, ProcessKilled
+from repro.sim.rng import RngRegistry
+from repro.sim.sync import (
+    BlockingQueue,
+    ConditionVariable,
+    Lock,
+    QueueClosed,
+    Semaphore,
+)
+
+__all__ = [
+    "Alarm",
+    "AllOf",
+    "AnyOf",
+    "BlockingQueue",
+    "Condition",
+    "ConditionValue",
+    "ConditionVariable",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "Infinity",
+    "Interrupt",
+    "Lock",
+    "Process",
+    "ProcessKilled",
+    "QueueClosed",
+    "RngRegistry",
+    "Semaphore",
+    "Timeout",
+]

@@ -1,0 +1,61 @@
+"""Cancellable one-shot alarms.
+
+Timer-driven behaviour (buffer flush deadlines, retransmission timeouts,
+acknowledgement delays) needs a primitive that can be armed, re-armed and
+cancelled cheaply without leaking processes.  ``Alarm`` wraps the pattern:
+one alarm object, at most one pending callback, cancel/re-arm at will.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import Environment
+
+__all__ = ["Alarm"]
+
+
+class Alarm:
+    """A re-armable one-shot timer firing a callback at a deadline."""
+
+    def __init__(self, env: Environment, callback: Callable[[], None]) -> None:
+        self.env = env
+        self._callback = callback
+        self._generation = 0
+        self._deadline: Optional[float] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._deadline is not None
+
+    @property
+    def deadline(self) -> Optional[float]:
+        return self._deadline
+
+    def arm(self, delay: float) -> None:
+        """(Re-)arm the alarm to fire *delay* from now, replacing any
+        earlier deadline."""
+        if delay < 0:
+            raise ValueError("alarm delay must be >= 0, got %r" % (delay,))
+        self._generation += 1
+        self._deadline = self.env.now + delay
+        generation = self._generation
+        timer = self.env.timeout(delay)
+
+        def fire(_event) -> None:
+            if generation != self._generation:
+                return  # cancelled or re-armed since
+            self._deadline = None
+            self._callback()
+
+        timer.callbacks.append(fire)
+
+    def arm_if_idle(self, delay: float) -> None:
+        """Arm only if no deadline is currently pending."""
+        if self._deadline is None:
+            self.arm(delay)
+
+    def cancel(self) -> None:
+        """Cancel any pending deadline."""
+        self._generation += 1
+        self._deadline = None

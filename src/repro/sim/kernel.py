@@ -1,0 +1,203 @@
+"""Discrete-event simulation kernel.
+
+This module provides the deterministic execution substrate for the whole
+reproduction.  The 1988 paper ran on real Argus nodes; we instead run every
+guardian, agent and network link inside a single simulated timeline so that
+per-message overheads, wire latencies and handler compute times are explicit,
+controllable model parameters (see DESIGN.md section 2).
+
+The design follows the classic event-calendar architecture: an
+:class:`Environment` owns a priority queue of ``(time, priority, seq, event)``
+entries and fires events in time order.  Simulated processes are Python
+generators that yield :class:`~repro.sim.events.Event` objects to block; the
+machinery for that lives in :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "Environment",
+    "EmptySchedule",
+    "StopSimulation",
+    "Infinity",
+    "URGENT",
+    "NORMAL",
+]
+
+#: Scheduling priority for events that must fire before ordinary events at
+#: the same timestamp (e.g. process resumption after an interrupt).
+URGENT = 0
+
+#: Default scheduling priority.
+NORMAL = 1
+
+#: A time later than any other; used as the default run-until bound.
+Infinity = float("inf")
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Environment.step` when no events remain."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at a trigger event."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Environment:
+    """A simulation environment: clock plus event calendar.
+
+    The environment is deliberately small; everything else (timeouts,
+    processes, synchronization, networks, guardians) is built on
+    :meth:`schedule` and :meth:`run`.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Any]] = []
+        self._seq = 0
+        self._active_process = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The :class:`~repro.sim.process.Process` currently executing."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or :data:`Infinity` if none."""
+        if not self._queue:
+            return Infinity
+        return self._queue[0][0]
+
+    def queued_event_count(self) -> int:
+        """Number of events waiting on the calendar (for tests/stats)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: Any, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Place *event* on the calendar ``delay`` time units from now.
+
+        Ties at the same timestamp are broken first by *priority* then by
+        insertion order, which keeps the simulation fully deterministic.
+        """
+        if delay < 0:
+            raise ValueError("cannot schedule an event in the past (delay=%r)" % delay)
+        self._seq += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the single next event.
+
+        Raises :class:`EmptySchedule` if the calendar is empty.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule() from None
+        event._fire(self)
+
+    def run(self, until: Any = None) -> Any:
+        """Run the simulation.
+
+        *until* may be ``None`` (run until the calendar drains), a number
+        (run until that simulated time), or an event (run until it fires and
+        return its value).
+        """
+        stop_event = None
+        if until is None:
+            limit = Infinity
+        elif hasattr(until, "callbacks"):
+            stop_event = until
+            limit = Infinity
+            if until.triggered:
+                return until.value_or_raise()
+            until.callbacks.append(_Stopper(until))
+        else:
+            limit = float(until)
+            if limit < self._now:
+                raise ValueError(
+                    "until (%r) must not be earlier than now (%r)" % (limit, self._now)
+                )
+
+        try:
+            while True:
+                if not self._queue:
+                    break
+                if self._queue[0][0] > limit:
+                    self._now = limit
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        except EmptySchedule:
+            pass
+
+        if stop_event is not None:
+            raise RuntimeError(
+                "simulation ran out of events before %r fired" % (stop_event,)
+            )
+        if limit is not Infinity:
+            self._now = max(self._now, limit)
+        return None
+
+    # ------------------------------------------------------------------
+    # Factory helpers (populated by sibling modules to avoid import cycles)
+    # ------------------------------------------------------------------
+    def event(self):
+        """Create a fresh untriggered :class:`~repro.sim.events.Event`."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None):
+        """Create a :class:`~repro.sim.events.Timeout` firing after *delay*."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator):
+        """Spawn a new simulated :class:`~repro.sim.process.Process`."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Any]):
+        """Condition event that fires when every event in *events* has."""
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Any]):
+        """Condition event that fires when any event in *events* has."""
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+
+class _Stopper:
+    """Callback object that stops :meth:`Environment.run` at an event."""
+
+    def __init__(self, event: Any) -> None:
+        self._event = event
+
+    def __call__(self, event: Any) -> None:
+        raise StopSimulation(event.value_or_raise())

@@ -1,0 +1,34 @@
+"""Call-streams: the Mercury-style transport (paper §2)."""
+
+from repro.streams.config import StreamConfig
+from repro.streams.receiver import CallDispatcher, ReceiverStats, StreamReceiver
+from repro.streams.sender import SenderStats, StreamSender
+from repro.streams.wire import (
+    KIND_RPC,
+    KIND_SEND,
+    KIND_STREAM,
+    BreakNotice,
+    CallEntry,
+    CallPacket,
+    ReplyEntry,
+    ReplyPacket,
+    StreamKey,
+)
+
+__all__ = [
+    "BreakNotice",
+    "CallDispatcher",
+    "CallEntry",
+    "CallPacket",
+    "KIND_RPC",
+    "KIND_SEND",
+    "KIND_STREAM",
+    "ReceiverStats",
+    "ReplyEntry",
+    "ReplyPacket",
+    "SenderStats",
+    "StreamConfig",
+    "StreamKey",
+    "StreamReceiver",
+    "StreamSender",
+]

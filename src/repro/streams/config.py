@@ -1,0 +1,69 @@
+"""Tunable parameters of the call-stream transport.
+
+These knobs are the levers the benchmarks sweep: ``batch_size`` and
+``max_buffer_delay`` control the buffering the paper's throughput argument
+rests on; ``rto``/``max_retries`` control break detection; the reply-side
+twins control reply batching at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StreamConfig"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Configuration shared by the sending and receiving stream machinery."""
+
+    #: Transmit the call buffer as soon as it holds this many entries.
+    batch_size: int = 8
+    #: Transmit a non-empty call buffer at latest this long after its first
+    #: entry arrived ("sent when convenient").
+    max_buffer_delay: float = 5.0
+    #: Retransmission timeout for unacknowledged calls.
+    rto: float = 20.0
+    #: Consecutive retransmissions tolerated before the sender breaks the
+    #: stream ("the system tries hard to deliver messages before breaking").
+    max_retries: int = 4
+    #: Receiver-side: transmit the reply buffer at this many entries.
+    reply_batch_size: int = 8
+    #: Receiver-side: transmit a non-empty reply buffer at latest this long
+    #: after its first entry arrived.
+    reply_max_delay: float = 5.0
+    #: Receiver-side: send a bare acknowledgement if calls have gone this
+    #: long without any reply traffic to piggyback on.
+    ack_delay: float = 10.0
+    #: Sender-side: after replies are resolved, send a bare
+    #: acknowledgement packet at latest this long after the last outgoing
+    #: traffic, so the receiver can garbage-collect its reply log even on
+    #: an otherwise idle stream.
+    reply_ack_delay: float = 15.0
+    #: Reincarnate the stream automatically after a break ("broken streams
+    #: are mapped into exceptions and then restarted automatically").
+    auto_restart: bool = True
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1 or self.reply_batch_size < 1:
+            raise ValueError("batch sizes must be >= 1")
+        if self.max_buffer_delay < 0 or self.reply_max_delay < 0:
+            raise ValueError("buffer delays must be >= 0")
+        if self.rto <= 0:
+            raise ValueError("rto must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_delay <= 0:
+            raise ValueError("ack_delay must be positive")
+        if self.reply_ack_delay <= 0:
+            raise ValueError("reply_ack_delay must be positive")
+
+    def unbuffered(self) -> "StreamConfig":
+        """A copy that transmits every call and reply immediately.
+
+        This is the RPC-like configuration used as the baseline in E1: each
+        call pays its own kernel call and transmission delay.
+        """
+        from dataclasses import replace
+
+        return replace(self, batch_size=1, max_buffer_delay=0.0, reply_batch_size=1, reply_max_delay=0.0)

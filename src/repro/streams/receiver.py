@@ -1,0 +1,392 @@
+"""The receiving end of a call-stream.
+
+One :class:`StreamReceiver` exists per incoming stream incarnation at a
+guardian.  It provides the receiver half of the §2 guarantees:
+
+* exactly-once, in-call-order delivery of requests to the application
+  (duplicates from retransmission are recognized and re-acknowledged;
+  out-of-order arrivals are buffered);
+* replies returned in call order, buffered and batched ("replies ...
+  are buffered and sent when convenient"), with normal replies of *sends*
+  omitted — the cumulative ``completed_seq`` watermark stands in for them;
+* reaction to the sender's ``flush`` and ``synch`` flags;
+* stream breaks: a decode failure breaks the stream *synchronously* (the
+  failing call and its predecessors are unaffected, later calls are
+  discarded); lost receiver state (crash) breaks it *asynchronously*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.outcome import Outcome
+from repro.encoding.errors import DecodeError, EncodeError
+from repro.encoding.transmit import ArgsCodec, OutcomeCodec
+from repro.net.message import Message
+from repro.net.network import Network, NodeDown
+from repro.sim.alarm import Alarm
+from repro.sim.kernel import Environment
+from repro.streams.config import StreamConfig
+from repro.types.signatures import HandlerType
+
+from repro.streams.wire import (
+    KIND_RPC,
+    KIND_SEND,
+    BreakNotice,
+    CallEntry,
+    CallPacket,
+    ReplyEntry,
+    ReplyPacket,
+    StreamKey,
+)
+
+__all__ = ["StreamReceiver", "CallDispatcher", "ReceiverStats"]
+
+# Codec used to encode failure outcomes for calls whose port is unknown.
+_EMPTY_HANDLER_TYPE = HandlerType()
+
+
+class CallDispatcher:
+    """What the transport needs from the entity layer.
+
+    ``dispatch`` is called once per in-order delivered request; the entity
+    layer executes the call (respecting per-stream sequencing) and reports
+    the outcome back via :meth:`StreamReceiver.post_outcome`.
+    """
+
+    def dispatch(
+        self,
+        receiver: "StreamReceiver",
+        seq: int,
+        port_id: str,
+        args_bytes: bytes,
+        kind: str,
+    ) -> None:
+        """Execute one in-order request; report via post_outcome."""
+        raise NotImplementedError
+
+    def stop(self, reason: str) -> None:
+        """Called when the stream breaks; pending work should be dropped."""
+
+
+class ReceiverStats:
+    """Counters exposed for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self.calls_delivered = 0
+        self.duplicates = 0
+        self.reply_packets_sent = 0
+        self.pure_acks_sent = 0
+        self.breaks = 0
+
+
+class StreamReceiver:
+    """Receiving end of one stream incarnation."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        key: StreamKey,
+        incarnation: int,
+        dispatcher: CallDispatcher,
+        config: Optional[StreamConfig] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.key = key
+        self.incarnation = incarnation
+        self.dispatcher = dispatcher
+        self.config = config or StreamConfig()
+        self.stats = ReceiverStats()
+
+        self.expected_seq = 1
+        self.completed_seq = 0
+        self.broken: Optional[BreakNotice] = None
+        self._out_of_order: Dict[int, CallEntry] = {}
+        self._reply_buffer: List[ReplyEntry] = []
+        self._reply_log: Dict[int, ReplyEntry] = {}
+        self._pending_synch_seq: Optional[int] = None
+        #: Seq range (lo, hi) of the calls that travelled with the most
+        #: recent explicit flush: their replies are sent as soon as
+        #: produced (the paper's flush "ensures the last few calls (and
+        #: replies) are sent out quickly").  Earlier calls keep batching.
+        self._flush_through_range = (0, -1)
+        #: Outcomes that arrived ahead of order (possible when the entity
+        #: layer executes same-stream calls in parallel, the §2.1
+        #: override); released strictly in call order.
+        self._outcome_stash: Dict[int, Tuple[Outcome, str, Optional[OutcomeCodec]]] = {}
+        self._next_outcome_seq = 1
+        self._last_acked_call = 0
+        self._last_sent_completed = 0
+        self._reply_alarm = Alarm(env, self._on_reply_deadline)
+        self._ack_alarm = Alarm(env, self._on_ack_deadline)
+
+    # ------------------------------------------------------------------
+    # Packet intake
+    # ------------------------------------------------------------------
+    def on_call_packet(self, packet: CallPacket) -> None:
+        """Process an incoming batch of call requests."""
+        # The sender has resolved replies up to ack_reply_seq; forget them.
+        for seq in [s for s in self._reply_log if s <= packet.ack_reply_seq]:
+            del self._reply_log[seq]
+
+        if self.broken is not None:
+            # "further calls on that stream will be discarded at the
+            # receiver" — but keep telling the sender why.
+            self._flush_replies()
+            return
+
+        # Note: a fresh receiver seeing mid-stream sequence numbers is NOT
+        # treated as lost state — the first packet may simply have been
+        # lost; go-back-N retransmission delivers the gap.  Genuinely lost
+        # receiver state (a crash) surfaces as retransmission exhaustion at
+        # the sender: an asynchronous break, as §2 specifies.
+        resend_needed = False
+        entries = sorted(packet.entries, key=lambda entry: entry.seq)
+        for entry in entries:
+            if self.broken is not None:
+                break
+            if entry.seq < self.expected_seq:
+                self.stats.duplicates += 1
+                resend_needed = True
+                continue
+            if entry.seq == self.expected_seq:
+                self._deliver(entry)
+                self._drain_out_of_order()
+            else:
+                self._out_of_order.setdefault(entry.seq, entry)
+
+        if packet.synch_seq is not None:
+            if self._pending_synch_seq is None or packet.synch_seq > self._pending_synch_seq:
+                self._pending_synch_seq = packet.synch_seq
+        if packet.flush_replies and entries and packet.attempt == 0:
+            # The calls that travelled *with* an explicit flush are its
+            # "last few calls": their replies go out as soon as produced.
+            # Earlier calls keep normal reply batching, and retransmission
+            # probes (attempt > 0) only flush current state below — they
+            # must not disable batching for everything they happen to
+            # carry.
+            self._flush_through_range = (
+                min(entry.seq for entry in entries),
+                max(entry.seq for entry in entries),
+            )
+
+        if resend_needed:
+            # Lost replies suspected: retransmit everything unacknowledged.
+            self._flush_replies(include_log=True)
+        elif packet.flush_replies and (
+            self._reply_buffer or self._reply_log or self._ack_outstanding()
+        ):
+            # Include the whole unacknowledged reply log: a flush request
+            # may be the sender probing after *reply* packets were lost,
+            # and only entries the sender has not acked are still in the
+            # log, so this stays cheap in the common case.
+            self._flush_replies(include_log=True)
+        elif self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
+            self._flush_replies()
+        elif self._ack_outstanding():
+            self._ack_alarm.arm_if_idle(self.config.ack_delay)
+
+    def _drain_out_of_order(self) -> None:
+        while self.broken is None and self.expected_seq in self._out_of_order:
+            self._deliver(self._out_of_order.pop(self.expected_seq))
+
+    def _deliver(self, entry: CallEntry) -> None:
+        """Hand one in-order request to the entity layer."""
+        self.expected_seq = entry.seq + 1
+        self.stats.calls_delivered += 1
+        self.dispatcher.dispatch(self, entry.seq, entry.port_id, entry.args_bytes, entry.kind)
+
+    # ------------------------------------------------------------------
+    # Outcome intake (from the entity layer)
+    # ------------------------------------------------------------------
+    def post_outcome(
+        self,
+        seq: int,
+        outcome: Outcome,
+        kind: str,
+        codec: Optional[OutcomeCodec],
+    ) -> None:
+        """Record the outcome of call *seq* and ship it per policy.
+
+        Outcomes may be posted out of call order (parallel execution mode);
+        they are buffered and *released* strictly in call order, preserving
+        the §2 guarantee that replies travel in call order.
+
+        *codec* is None only when the port was unknown; the failure outcome
+        is then encoded with an empty-signature codec.
+        """
+        if seq < self._next_outcome_seq or seq in self._outcome_stash:
+            return  # duplicate
+        self._outcome_stash[seq] = (outcome, kind, codec)
+        while self._next_outcome_seq in self._outcome_stash:
+            next_seq = self._next_outcome_seq
+            next_outcome, next_kind, next_codec = self._outcome_stash.pop(next_seq)
+            self._next_outcome_seq += 1
+            self._release_outcome(next_seq, next_outcome, next_kind, next_codec)
+
+    def _release_outcome(
+        self,
+        seq: int,
+        outcome: Outcome,
+        kind: str,
+        codec: Optional[OutcomeCodec],
+    ) -> None:
+        if self.broken is not None and seq > self.broken.after_seq:
+            return
+        self.completed_seq = max(self.completed_seq, seq)
+
+        entry: Optional[ReplyEntry] = None
+        if kind == KIND_SEND and outcome.is_normal:
+            # "in the case of sends, normal replies can be omitted."
+            entry = None
+        else:
+            encoder = codec or OutcomeCodec(_EMPTY_HANDLER_TYPE)
+            try:
+                outcome_bytes = encoder.encode(outcome)
+            except EncodeError as exc:
+                # Result encoding failed at the receiver: the call fails and
+                # "when the problem happens at the receiver, the stream
+                # breaks" (§3) — synchronously, after this call.
+                outcome_bytes = encoder.encode(
+                    Outcome.failure("could not encode: %s" % (exc,))
+                )
+                entry = ReplyEntry(seq, outcome_bytes)
+                self._append_reply(entry)
+                self._break(
+                    BreakNotice(
+                        synchronous=True,
+                        after_seq=seq,
+                        reason="could not encode reply for call %d" % seq,
+                    )
+                )
+                return
+            entry = ReplyEntry(seq, outcome_bytes)
+
+        if entry is not None:
+            self._append_reply(entry)
+
+        if kind == KIND_RPC:
+            self._flush_replies()
+        elif len(self._reply_buffer) >= self.config.reply_batch_size:
+            self._flush_replies()
+        elif self.config.reply_max_delay == 0.0 and self._reply_buffer:
+            self._flush_replies()
+        elif self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
+            self._flush_replies()
+        elif self._flush_through_range[0] <= seq <= self._flush_through_range[1]:
+            # This call was covered by an explicit flush: its reply (or
+            # completion watermark, for sends) goes out promptly.
+            self._flush_replies()
+        elif self._reply_buffer:
+            self._reply_alarm.arm_if_idle(self.config.reply_max_delay)
+        elif self._ack_outstanding():
+            # A send completed normally: only the watermark must travel.
+            self._ack_alarm.arm_if_idle(self.config.ack_delay)
+
+    def fail_call(self, seq: int, reason: str, kind: str) -> None:
+        """Entity-layer helper: record a failure outcome for call *seq*."""
+        self.post_outcome(seq, Outcome.failure(reason), kind, None)
+
+    def decode_failure(self, seq: int, kind: str, exc: DecodeError) -> None:
+        """Argument decoding failed: fail the call and break the stream.
+
+        "Such a failure causes the call to terminate with the failure
+        exception.  In addition, when the problem happens at the receiver,
+        the stream breaks so that further calls on that stream will be
+        discarded." (§3)
+        """
+        self.post_outcome(
+            seq, Outcome.failure("could not decode: %s" % (exc,)), kind, None
+        )
+        if self.broken is None:
+            self._break(
+                BreakNotice(
+                    synchronous=True,
+                    after_seq=seq,
+                    reason="could not decode call %d" % seq,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Reply shipping
+    # ------------------------------------------------------------------
+    def _append_reply(self, entry: ReplyEntry) -> None:
+        self._reply_log[entry.seq] = entry
+        self._reply_buffer.append(entry)
+
+    def _ack_outstanding(self) -> bool:
+        return (
+            self.expected_seq - 1 > self._last_acked_call
+            or self.completed_seq > self._last_sent_completed
+        )
+
+    def _flush_replies(self, include_log: bool = False) -> None:
+        self._reply_alarm.cancel()
+        self._ack_alarm.cancel()
+        if include_log:
+            entries = sorted(self._reply_log.values(), key=lambda e: e.seq)
+            self._reply_buffer = []
+        else:
+            entries, self._reply_buffer = self._reply_buffer, []
+        packet = ReplyPacket(
+            self.key,
+            self.incarnation,
+            entries,
+            ack_call_seq=self.expected_seq - 1,
+            completed_seq=self.completed_seq,
+            broken=self.broken,
+        )
+        message = Message(
+            self.key.dst_node,
+            self.key.src_node,
+            self.key.src_address,
+            packet,
+            packet.size,
+        )
+        try:
+            self.network.send(message)
+        except NodeDown:
+            return
+        self._last_acked_call = self.expected_seq - 1
+        self._last_sent_completed = self.completed_seq
+        self.stats.reply_packets_sent += 1
+        if not entries:
+            self.stats.pure_acks_sent += 1
+        if self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
+            self._pending_synch_seq = None
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+    def _on_reply_deadline(self) -> None:
+        if self._reply_buffer:
+            self._flush_replies()
+
+    def _on_ack_deadline(self) -> None:
+        if self._ack_outstanding():
+            self._flush_replies()
+
+    # ------------------------------------------------------------------
+    # Breaks
+    # ------------------------------------------------------------------
+    def _break(self, notice: BreakNotice) -> None:
+        if self.broken is not None:
+            return
+        self.stats.breaks += 1
+        self.broken = notice
+        self._out_of_order.clear()
+        self.dispatcher.stop(notice.reason)
+        self._flush_replies()
+
+    def break_stream(self, reason: str, permanent: bool = False) -> None:
+        """Explicit receiver-side break (e.g. guardian destroyed)."""
+        self._break(
+            BreakNotice(
+                synchronous=False,
+                after_seq=0,
+                reason=reason,
+                permanent=permanent,
+            )
+        )

@@ -1,0 +1,549 @@
+"""The sending end of a call-stream.
+
+One :class:`StreamSender` exists per (agent, port group) pair — "All calls
+sent by an agent to ports in a port group are sent on the same stream, and
+thus are sequenced" (§2).  It implements:
+
+* the three call varieties — RPCs (transmitted immediately, caller waits),
+  stream calls (buffered, a promise is returned), and sends (stream calls
+  to handlers with no normal results; normal replies are omitted);
+* buffering with size and delay triggers, and the paper's ``flush`` and
+  ``synch`` primitives;
+* exactly-once delivery over the unreliable network, via cumulative
+  acknowledgements and go-back-N retransmission;
+* in-call-order resolution of promises ("if the i+1st result is ready,
+  then so is the ith");
+* break detection (retransmission exhaustion, receiver notices), mapping
+  broken calls to ``unavailable``/``failure`` and automatic restart through
+  stream *reincarnation*.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exceptions import ExceptionReply, Failure, Unavailable
+from repro.core.outcome import Outcome
+from repro.core.promise import Promise
+from repro.encoding.errors import DecodeError, EncodeError
+from repro.encoding.transmit import ArgsCodec, OutcomeCodec
+from repro.net.message import Message
+from repro.net.network import Network, NodeDown
+from repro.sim.alarm import Alarm
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.streams.config import StreamConfig
+from repro.streams.wire import (
+    KIND_RPC,
+    KIND_SEND,
+    KIND_STREAM,
+    BreakNotice,
+    CallEntry,
+    CallPacket,
+    ReplyPacket,
+    StreamKey,
+)
+from repro.types.signatures import HandlerType
+
+__all__ = ["StreamSender", "SenderStats"]
+
+
+class SenderStats:
+    """Counters exposed for tests and benchmarks."""
+
+    def __init__(self) -> None:
+        self.calls_made = 0
+        self.rpcs_made = 0
+        self.sends_made = 0
+        self.packets_sent = 0
+        self.retransmissions = 0
+        self.breaks = 0
+        self.flushes = 0
+        self.synchs = 0
+
+
+class _PendingCall:
+    """Sender-side bookkeeping for one outstanding call."""
+
+    __slots__ = ("seq", "kind", "promise", "codec", "entry")
+
+    def __init__(
+        self,
+        seq: int,
+        kind: str,
+        promise: Optional[Promise],
+        codec: OutcomeCodec,
+        entry: CallEntry,
+    ) -> None:
+        self.seq = seq
+        self.kind = kind
+        self.promise = promise
+        self.codec = codec
+        self.entry = entry
+
+
+class StreamSender:
+    """Sending end of one stream (one agent × one port group)."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        key: StreamKey,
+        config: Optional[StreamConfig] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.key = key
+        self.config = config or StreamConfig()
+        self.stats = SenderStats()
+        self.incarnation = 0
+        #: True when the stream is broken and auto_restart is off.
+        self.broken = False
+        self._break_exception: Optional[Exception] = None
+        self._reset_incarnation_state()
+        self._buffer_alarm = Alarm(env, self._on_buffer_deadline)
+        self._rto_alarm = Alarm(env, self._on_rto)
+        self._reply_ack_alarm = Alarm(env, self._on_reply_ack_deadline)
+        #: Highest ack_reply_seq actually transmitted to the receiver.
+        self._sent_ack_reply_seq = 0
+
+    def _reset_incarnation_state(self) -> None:
+        self._next_seq = 1
+        self._next_resolve = 1
+        self._buffer: List[CallEntry] = []
+        self._unacked: "OrderedDict[int, CallEntry]" = OrderedDict()
+        self._pending: Dict[int, _PendingCall] = {}
+        self._outcomes: Dict[int, Outcome] = {}
+        self._completed_seq = 0
+        self._retries = 0
+        self._synch_base = 0
+        self._exceptional_seqs: set = set()
+        self._synch_waiters: List[Tuple[int, Event]] = []
+        self._pending_flush_replies = False
+        self._pending_synch_seq: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Public call interface
+    # ------------------------------------------------------------------
+    def stream_call(
+        self,
+        port_id: str,
+        handler_type: HandlerType,
+        args: Sequence[Any],
+        want_promise: bool = True,
+    ) -> Optional[Promise]:
+        """Make a stream call; returns the promise (or None in statement
+        form).  Raises ``failure``/``unavailable`` immediately if encoding
+        fails or the stream is broken — in that case "no promise object is
+        created" (§3).
+        """
+        # "whenever a stream call is made to a handler with no normal
+        # results, the Argus implementation makes the call as a send."
+        kind = KIND_STREAM if handler_type.has_results else KIND_SEND
+        return self._call(port_id, handler_type, args, kind, want_promise)
+
+    def send(
+        self,
+        port_id: str,
+        handler_type: HandlerType,
+        args: Sequence[Any],
+        want_promise: bool = False,
+    ) -> Optional[Promise]:
+        """Make an explicit send (reply only on abnormal termination)."""
+        return self._call(port_id, handler_type, args, KIND_SEND, want_promise)
+
+    def rpc(self, port_id: str, handler_type: HandlerType, args: Sequence[Any]) -> Event:
+        """Make an ordinary RPC: transmit immediately, wait for the reply.
+
+        Returns an event to ``yield``; it delivers the call's normal result
+        or raises its exception, exactly like claiming the promise at once.
+        """
+        try:
+            promise = self._call(port_id, handler_type, args, KIND_RPC, True)
+        except (Failure, Unavailable) as exc:
+            failed = Event(self.env)
+            failed.defused = True
+            failed.fail(exc)
+            return failed
+        return promise.claim()
+
+    def _call(
+        self,
+        port_id: str,
+        handler_type: HandlerType,
+        args: Sequence[Any],
+        kind: str,
+        want_promise: bool,
+    ) -> Optional[Promise]:
+        self._check_usable()
+        try:
+            args_bytes = ArgsCodec(handler_type).encode(tuple(args))
+        except EncodeError as exc:
+            raise Failure("could not encode: %s" % (exc,)) from exc
+
+        seq = self._next_seq
+        self._next_seq += 1
+        entry = CallEntry(seq, port_id, kind, args_bytes)
+        promise = None
+        if want_promise:
+            promise = Promise(
+                self.env,
+                handler_type.promise_type(),
+                label="%s#%d" % (port_id, seq),
+            )
+        self._pending[seq] = _PendingCall(
+            seq, kind, promise, OutcomeCodec(handler_type), entry
+        )
+        self._buffer.append(entry)
+        self.stats.calls_made += 1
+        if kind == KIND_RPC:
+            self.stats.rpcs_made += 1
+        elif kind == KIND_SEND:
+            self.stats.sends_made += 1
+
+        if kind == KIND_RPC:
+            # "RPCs and their replies are sent over the network immediately,
+            # to minimize the delay for a call."
+            self._flush_buffer(flush_replies=True)
+        elif len(self._buffer) >= self.config.batch_size:
+            self._flush_buffer()
+        elif self.config.max_buffer_delay == 0.0:
+            self._flush_buffer()
+        else:
+            self._buffer_alarm.arm_if_idle(self.config.max_buffer_delay)
+        return promise
+
+    # ------------------------------------------------------------------
+    # Flush and synch
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        """The paper's ``flush``: push buffered calls out now and ask the
+        receiver to flush replies back."""
+        self._check_usable()
+        self.stats.flushes += 1
+        self._flush_buffer(flush_replies=True, force=True)
+
+    def synch(self) -> Event:
+        """The paper's ``synch``: flush, then wait until every earlier call
+        on the stream has completed.
+
+        The returned event succeeds if all calls since the last synch (or
+        RPC, or incarnation start) returned normally, and fails with
+        :class:`~repro.core.exceptions.ExceptionReply` otherwise.
+        """
+        self.stats.synchs += 1
+        done = Event(self.env)
+        try:
+            self._check_usable()
+        except (Failure, Unavailable):
+            done.defused = True
+            done.fail(ExceptionReply())
+            return done
+        target = self._next_seq - 1
+        if self._next_resolve > target:
+            # Nothing outstanding: the synch completes without touching
+            # the network.
+            self._finish_synch(done, target)
+            return done
+        self._flush_buffer(flush_replies=True, synch_seq=target, force=True)
+        if self._next_resolve > target:
+            self._finish_synch(done, target)
+        else:
+            self._synch_waiters.append((target, done))
+        return done
+
+    def _finish_synch(self, done: Event, target: int) -> None:
+        exceptional = any(
+            self._synch_base < seq <= target for seq in self._exceptional_seqs
+        )
+        self._synch_base = max(self._synch_base, target)
+        self._exceptional_seqs = {
+            seq for seq in self._exceptional_seqs if seq > self._synch_base
+        }
+        if done.triggered:
+            return
+        if exceptional:
+            done.defused = True
+            done.fail(ExceptionReply())
+        else:
+            done.succeed()
+
+    # ------------------------------------------------------------------
+    # Restart
+    # ------------------------------------------------------------------
+    def restart(self) -> None:
+        """The paper's ``restart``: break now (if not already broken) and
+        reincarnate so the stream is usable again."""
+        self._do_break("stream restarted by sender", permanent=False)
+        self._reincarnate()
+
+    def _reincarnate(self) -> None:
+        announce = getattr(self, "_had_outstanding_at_break", False)
+        self.incarnation += 1
+        self.broken = False
+        self._break_exception = None
+        self._reset_incarnation_state()
+        if announce:
+            # Best-effort announcement of the new incarnation, so the
+            # receiver supersedes its old state and destroys any orphaned
+            # executions of the broken incarnation (§4.2).
+            self._had_outstanding_at_break = False
+            self._transmit([], False, None)
+
+    # ------------------------------------------------------------------
+    # Internal: transmission
+    # ------------------------------------------------------------------
+    def _check_usable(self) -> None:
+        # A wounded process (termination pending, delayed by a critical
+        # section) "cannot make any remote calls at such a point" (§4.2).
+        from repro.concurrency.critical import is_wounded
+
+        if is_wounded(self.env.active_process):
+            raise Unavailable("process is wounded; remote calls are refused")
+        if self.broken:
+            exc = self._break_exception or Unavailable("stream is broken")
+            raise type(exc)(*exc.args)
+
+    def _flush_buffer(
+        self,
+        flush_replies: bool = False,
+        synch_seq: Optional[int] = None,
+        force: bool = False,
+    ) -> None:
+        self._buffer_alarm.cancel()
+        entries, self._buffer = self._buffer, []
+        for entry in entries:
+            self._unacked[entry.seq] = entry
+        if not entries and not force:
+            return
+        if flush_replies:
+            self._pending_flush_replies = True
+        if synch_seq is not None:
+            if self._pending_synch_seq is None or synch_seq > self._pending_synch_seq:
+                self._pending_synch_seq = synch_seq
+        self._transmit(entries, flush_replies, synch_seq)
+        if self._unacked or self._has_unresolved():
+            self._rto_alarm.arm_if_idle(self.config.rto)
+
+    def _transmit(
+        self,
+        entries: List[CallEntry],
+        flush_replies: bool,
+        synch_seq: Optional[int],
+        attempt: int = 0,
+    ) -> None:
+        packet = CallPacket(
+            self.key,
+            self.incarnation,
+            entries,
+            ack_reply_seq=self._next_resolve - 1,
+            flush_replies=flush_replies,
+            synch_seq=synch_seq,
+            attempt=attempt,
+        )
+        message = Message(
+            self.key.src_node,
+            self.key.dst_node,
+            self.key.dst_address,
+            packet,
+            packet.size,
+        )
+        try:
+            self.network.send(message)
+        except NodeDown:
+            # Our own node is down; the enclosing guardian is dead anyway.
+            return
+        self._sent_ack_reply_seq = packet.ack_reply_seq
+        self.stats.packets_sent += 1
+
+    def _has_unresolved(self) -> bool:
+        return self._next_resolve < self._next_seq
+
+    # ------------------------------------------------------------------
+    # Internal: timers
+    # ------------------------------------------------------------------
+    def _on_buffer_deadline(self) -> None:
+        if self._buffer:
+            self._flush_buffer()
+
+    def _on_reply_ack_deadline(self) -> None:
+        """Idle-stream hygiene: tell the receiver which replies we have
+        resolved so it can garbage-collect its reply log."""
+        if self.broken:
+            return
+        if self._next_resolve - 1 > self._sent_ack_reply_seq and not self._buffer:
+            self._transmit([], False, None)
+
+    def _on_rto(self) -> None:
+        if self.broken:
+            return
+        if not self._unacked and not self._has_unresolved():
+            return  # everything done; no need to retransmit
+        self._retries += 1
+        if self._retries > self.config.max_retries:
+            # "It does so only if the sender or receiver crashes, or there
+            # are serious communication problems."
+            self._do_break("cannot communicate", permanent=False)
+            if self.config.auto_restart:
+                self._reincarnate()
+            return
+        self.stats.retransmissions += 1
+        # Go-back-N: resend everything unacknowledged (and re-assert any
+        # pending flush/synch flags, which may have been lost too).
+        self._transmit(
+            list(self._unacked.values()),
+            self._pending_flush_replies or self._has_unresolved(),
+            self._pending_synch_seq,
+            attempt=self._retries,
+        )
+        self._rto_alarm.arm(self.config.rto)
+
+    # ------------------------------------------------------------------
+    # Internal: reply processing
+    # ------------------------------------------------------------------
+    def on_reply(self, packet: ReplyPacket) -> None:
+        """Process a reply packet from the receiver (called by transport)."""
+        if packet.incarnation != self.incarnation or self.broken:
+            return  # stale incarnation
+
+        # Acknowledgements: drop delivered calls, note execution progress.
+        progressed = False
+        for seq in list(self._unacked.keys()):
+            if seq <= packet.ack_call_seq:
+                del self._unacked[seq]
+                progressed = True
+        if packet.completed_seq > self._completed_seq:
+            self._completed_seq = packet.completed_seq
+            progressed = True
+
+        # Reply entries: decode outcomes.  A decode failure at the sender
+        # yields failure("could not decode") for that call only (§3 step 3).
+        for entry in packet.entries:
+            if entry.seq < self._next_resolve or entry.seq in self._outcomes:
+                continue  # duplicate
+            pending = self._pending.get(entry.seq)
+            if pending is None:
+                continue
+            try:
+                outcome = pending.codec.decode(entry.outcome_bytes)
+            except DecodeError as exc:
+                outcome = Outcome.failure("could not decode: %s" % (exc,))
+            self._outcomes[entry.seq] = outcome
+            progressed = True
+
+        if progressed:
+            self._retries = 0
+            if self._unacked or self._has_unresolved():
+                self._rto_alarm.arm(self.config.rto)
+            else:
+                self._rto_alarm.cancel()
+
+        self._release_in_order()
+
+        if packet.broken is not None:
+            self._on_break_notice(packet.broken)
+
+    def _release_in_order(self) -> None:
+        """Resolve promises strictly in call order (§3 step 3)."""
+        while self._next_resolve < self._next_seq:
+            seq = self._next_resolve
+            pending = self._pending.get(seq)
+            if pending is None:
+                self._next_resolve += 1
+                continue
+            outcome = self._outcomes.pop(seq, None)
+            if outcome is None:
+                if seq <= self._completed_seq and pending.kind == KIND_SEND:
+                    # A send that completed normally: no reply data arrives,
+                    # the completion watermark stands in for it.
+                    outcome = Outcome.normal()
+                else:
+                    break
+            self._resolve(pending, outcome)
+            self._next_resolve += 1
+        self._wake_synch_waiters()
+        if self._next_resolve - 1 > self._sent_ack_reply_seq:
+            # New replies resolved: make sure an acknowledgement travels
+            # eventually even if no further calls are made.
+            self._reply_ack_alarm.arm_if_idle(self.config.reply_ack_delay)
+
+    def _resolve(self, pending: _PendingCall, outcome: Outcome) -> None:
+        if outcome.is_exceptional:
+            self._exceptional_seqs.add(pending.seq)
+        if pending.promise is not None and not pending.promise.ready():
+            pending.promise.resolve(outcome)
+        if pending.kind == KIND_RPC:
+            # An RPC is a synch point: "since the last synch or regular RPC".
+            self._synch_base = max(self._synch_base, pending.seq)
+            self._exceptional_seqs = {
+                seq for seq in self._exceptional_seqs if seq > self._synch_base
+            }
+        del self._pending[pending.seq]
+
+    def _wake_synch_waiters(self) -> None:
+        if not self._synch_waiters:
+            return
+        still_waiting = []
+        for target, done in self._synch_waiters:
+            if self._next_resolve > target:
+                self._finish_synch(done, target)
+            else:
+                still_waiting.append((target, done))
+        self._synch_waiters = still_waiting
+        if self._pending_synch_seq is not None and self._next_resolve > self._pending_synch_seq:
+            self._pending_synch_seq = None
+        if not self._has_unresolved():
+            self._pending_flush_replies = False
+
+    # ------------------------------------------------------------------
+    # Internal: breaks
+    # ------------------------------------------------------------------
+    def _on_break_notice(self, notice: BreakNotice) -> None:
+        """The receiver broke the stream; map outstanding calls to
+        exceptions and (optionally) reincarnate."""
+        if notice.synchronous:
+            # Calls up to after_seq are unaffected; their outcomes either
+            # already arrived or never will (receiver keeps them until
+            # acked), so release what we have first.
+            self._release_in_order()
+        self._do_break(notice.reason, permanent=notice.permanent)
+        if self.config.auto_restart:
+            self._reincarnate()
+
+    def _do_break(self, reason: str, permanent: bool) -> None:
+        """Break at the sender: every call whose reply has not been received
+        terminates with ``unavailable`` (or ``failure`` if permanent)."""
+        if self.broken and self._break_exception is not None:
+            return
+        self._had_outstanding_at_break = bool(
+            self._pending or self._unacked or self._buffer
+        )
+        self.stats.breaks += 1
+        self._buffer_alarm.cancel()
+        self._rto_alarm.cancel()
+        self._reply_ack_alarm.cancel()
+        template = Failure(reason) if permanent else Unavailable(reason)
+        # First deliver any outcomes that did arrive, in order; then fail
+        # the rest (preserving the in-order-resolution invariant).
+        self._release_in_order()
+        for seq in range(self._next_resolve, self._next_seq):
+            pending = self._pending.get(seq)
+            if pending is None:
+                continue
+            outcome = self._outcomes.pop(seq, None)
+            if outcome is None:
+                outcome = Outcome.exceptional(type(template)(*template.args))
+            self._resolve(pending, outcome)
+        self._next_resolve = self._next_seq
+        self._buffer = []
+        self._unacked.clear()
+        self.broken = True
+        self._break_exception = template
+        self._wake_synch_waiters()
+        for target, done in self._synch_waiters:
+            if not done.triggered:
+                done.defused = True
+                done.fail(ExceptionReply())
+        self._synch_waiters = []

@@ -1,0 +1,253 @@
+"""Wire-level structures of the stream transport.
+
+A physical network message carries exactly one packet: a
+:class:`CallPacket` (sender → receiver: a batch of call requests) or a
+:class:`ReplyPacket` (receiver → sender: a batch of replies plus
+acknowledgement watermarks and possibly a break notice).  Packing *many*
+entries into one packet is the buffering the paper's performance claims
+rest on.
+
+Payloads (call arguments, outcomes) are already bytes, produced by
+:mod:`repro.encoding`; the header fields of the packets themselves are
+charged a fixed byte cost each so message sizes remain honest.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = [
+    "KIND_RPC",
+    "KIND_STREAM",
+    "KIND_SEND",
+    "StreamKey",
+    "CallEntry",
+    "CallPacket",
+    "ReplyEntry",
+    "ReplyPacket",
+    "BreakNotice",
+    "PACKET_HEADER_BYTES",
+    "ENTRY_HEADER_BYTES",
+]
+
+#: An ordinary remote procedure call: transmitted immediately, caller waits.
+KIND_RPC = "rpc"
+#: A stream call: buffered, caller continues, reply resolves a promise.
+KIND_STREAM = "stream"
+#: A send: like a stream call, but a normal completion sends no reply data.
+KIND_SEND = "send"
+
+#: Fixed header cost of a packet beyond the datagram header.
+PACKET_HEADER_BYTES = 32
+#: Fixed header cost of each call/reply entry inside a packet.
+ENTRY_HEADER_BYTES = 24
+
+
+class StreamKey:
+    """Identity of a stream: one agent talking to one port group.
+
+    "An agent and a port group together define a stream" (§2).  The key also
+    carries the transport coordinates of both ends so replies can be routed
+    back without any connection state in the network.
+    """
+
+    __slots__ = ("src_node", "src_address", "agent_id", "dst_node", "dst_address", "group_id")
+
+    def __init__(
+        self,
+        src_node: str,
+        src_address: str,
+        agent_id: str,
+        dst_node: str,
+        dst_address: str,
+        group_id: str,
+    ) -> None:
+        self.src_node = src_node
+        self.src_address = src_address
+        self.agent_id = agent_id
+        self.dst_node = dst_node
+        self.dst_address = dst_address
+        self.group_id = group_id
+
+    def _tuple(self) -> Tuple[str, str, str, str, str, str]:
+        return (
+            self.src_node,
+            self.src_address,
+            self.agent_id,
+            self.dst_node,
+            self.dst_address,
+            self.group_id,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StreamKey) and self._tuple() == other._tuple()
+
+    def __hash__(self) -> int:
+        return hash(self._tuple())
+
+    def __repr__(self) -> str:
+        return "<StreamKey %s/%s -> %s/%s/%s>" % (
+            self.src_node,
+            self.agent_id,
+            self.dst_node,
+            self.dst_address,
+            self.group_id,
+        )
+
+
+class CallEntry:
+    """One call request inside a :class:`CallPacket`."""
+
+    __slots__ = ("seq", "port_id", "kind", "args_bytes")
+
+    def __init__(self, seq: int, port_id: str, kind: str, args_bytes: bytes) -> None:
+        if kind not in (KIND_RPC, KIND_STREAM, KIND_SEND):
+            raise ValueError("unknown call kind %r" % (kind,))
+        self.seq = seq
+        self.port_id = port_id
+        self.kind = kind
+        self.args_bytes = args_bytes
+
+    @property
+    def size(self) -> int:
+        return ENTRY_HEADER_BYTES + len(self.port_id) + len(self.args_bytes)
+
+    def __repr__(self) -> str:
+        return "<CallEntry #%d %s %s %dB>" % (self.seq, self.kind, self.port_id, self.size)
+
+
+class CallPacket:
+    """A batch of call requests, sender → receiver."""
+
+    __slots__ = (
+        "key",
+        "incarnation",
+        "entries",
+        "ack_reply_seq",
+        "flush_replies",
+        "synch_seq",
+        "attempt",
+    )
+
+    def __init__(
+        self,
+        key: StreamKey,
+        incarnation: int,
+        entries: List[CallEntry],
+        ack_reply_seq: int,
+        flush_replies: bool = False,
+        synch_seq: Optional[int] = None,
+        attempt: int = 0,
+    ) -> None:
+        self.key = key
+        self.incarnation = incarnation
+        self.entries = list(entries)
+        #: 0 for a first transmission, >0 for go-back-N retransmissions.
+        #: A receiver whose node has crashed must refuse to start a fresh
+        #: stream from a retransmission: the entries may already have
+        #: executed before the crash (exactly-once would be violated), so
+        #: the stream breaks asynchronously instead.
+        self.attempt = attempt
+        #: Cumulative: the sender has resolved all replies up to this seq,
+        #: so the receiver may garbage-collect its reply buffer.
+        self.ack_reply_seq = ack_reply_seq
+        #: The paper's ``flush``: "the flushing back of replies at the other
+        #: side".
+        self.flush_replies = flush_replies
+        #: The paper's ``synch``: receiver flushes replies as soon as its
+        #: completion watermark reaches this sequence number.
+        self.synch_seq = synch_seq
+
+    @property
+    def size(self) -> int:
+        return PACKET_HEADER_BYTES + sum(entry.size for entry in self.entries)
+
+    def __repr__(self) -> str:
+        return "<CallPacket inc=%d n=%d %r>" % (
+            self.incarnation,
+            len(self.entries),
+            [e.seq for e in self.entries],
+        )
+
+
+class ReplyEntry:
+    """One call outcome inside a :class:`ReplyPacket`."""
+
+    __slots__ = ("seq", "outcome_bytes")
+
+    def __init__(self, seq: int, outcome_bytes: bytes) -> None:
+        self.seq = seq
+        self.outcome_bytes = outcome_bytes
+
+    @property
+    def size(self) -> int:
+        return ENTRY_HEADER_BYTES + len(self.outcome_bytes)
+
+    def __repr__(self) -> str:
+        return "<ReplyEntry #%d %dB>" % (self.seq, self.size)
+
+
+class BreakNotice:
+    """Receiver → sender notification that the stream is broken.
+
+    ``synchronous`` breaks happen "after the reply to a call; that call and
+    all calls before it will be unaffected"; ``after_seq`` is that boundary.
+    ``permanent`` distinguishes ``failure`` causes (no such guardian/port)
+    from ``unavailable`` ones.
+    """
+
+    __slots__ = ("synchronous", "after_seq", "reason", "permanent")
+
+    def __init__(
+        self,
+        synchronous: bool,
+        after_seq: int,
+        reason: str,
+        permanent: bool = False,
+    ) -> None:
+        self.synchronous = synchronous
+        self.after_seq = after_seq
+        self.reason = reason
+        self.permanent = permanent
+
+    def __repr__(self) -> str:
+        mode = "sync" if self.synchronous else "async"
+        return "<BreakNotice %s after=%d %r>" % (mode, self.after_seq, self.reason)
+
+
+class ReplyPacket:
+    """A batch of replies plus acknowledgement state, receiver → sender."""
+
+    __slots__ = ("key", "incarnation", "entries", "ack_call_seq", "completed_seq", "broken")
+
+    def __init__(
+        self,
+        key: StreamKey,
+        incarnation: int,
+        entries: List[ReplyEntry],
+        ack_call_seq: int,
+        completed_seq: int,
+        broken: Optional[BreakNotice] = None,
+    ) -> None:
+        self.key = key
+        self.incarnation = incarnation
+        self.entries = list(entries)
+        #: Cumulative: all calls up to this seq have been received in order.
+        self.ack_call_seq = ack_call_seq
+        #: Cumulative: all calls up to this seq have finished executing
+        #: (covers sends, whose normal completions carry no reply entry).
+        self.completed_seq = completed_seq
+        self.broken = broken
+
+    @property
+    def size(self) -> int:
+        return PACKET_HEADER_BYTES + sum(entry.size for entry in self.entries)
+
+    def __repr__(self) -> str:
+        return "<ReplyPacket inc=%d n=%d ack=%d done=%d%s>" % (
+            self.incarnation,
+            len(self.entries),
+            self.ack_call_seq,
+            self.completed_seq,
+            " BROKEN" if self.broken else "",
+        )

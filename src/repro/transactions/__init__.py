@@ -1,0 +1,15 @@
+"""Atomic actions and atomic objects (the §4.2 slice of Argus
+transactions; see DESIGN.md for the substitution rationale)."""
+
+from repro.transactions.action import Action, ActionAborted, current_action, run_as_action
+from repro.transactions.atomic_objects import AtomicCell, AtomicMap, LockTimeout
+
+__all__ = [
+    "Action",
+    "ActionAborted",
+    "AtomicCell",
+    "AtomicMap",
+    "LockTimeout",
+    "current_action",
+    "run_as_action",
+]

@@ -1,0 +1,131 @@
+"""Atomic actions (a deliberately small slice of Argus transactions).
+
+"An atomic transaction either completes entirely or is guaranteed to have
+no effect.  Thus, running the recording process as an atomic transaction
+can ensure that if it is not possible to record all grades, none will be
+recorded." (§4.2)
+
+The full Argus transaction system (nested actions, two-phase commit across
+guardians, stable storage) is outside this paper's scope; what §4.2 relies
+on is exactly this: a coenter arm runs as an action, and if the arm fails
+or is terminated early, its writes to atomic objects are undone.  That is
+what this module provides: top-level actions with strict two-phase locking
+over the atomic objects of :mod:`repro.transactions.atomic_objects`.
+Distributed commit is documented as a substitution in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, List, Optional
+
+from repro.sim.kernel import Environment
+
+__all__ = ["Action", "ActionAborted", "run_as_action", "current_action"]
+
+_action_ids = itertools.count(1)
+
+#: States of an action.
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class ActionAborted(Exception):
+    """An operation was attempted under an action that has aborted."""
+
+
+class Action:
+    """A top-level atomic action: locks + undo log + two-phase discipline."""
+
+    def __init__(self, env: Environment, label: str = "") -> None:
+        self.env = env
+        self.action_id = next(_action_ids)
+        self.label = label
+        self.state = ACTIVE
+        self._undo: List[Callable[[], None]] = []
+        self._release: List[Callable[["Action"], None]] = []
+
+    def __repr__(self) -> str:
+        tag = " %r" % self.label if self.label else ""
+        return "<Action #%d%s %s>" % (self.action_id, tag, self.state)
+
+    @property
+    def active(self) -> bool:
+        return self.state == ACTIVE
+
+    def require_active(self) -> None:
+        """Raise ActionAborted unless the action is still active."""
+        if self.state != ACTIVE:
+            raise ActionAborted("action %r is %s" % (self, self.state))
+
+    # ------------------------------------------------------------------
+    # Hooks registered by atomic objects
+    # ------------------------------------------------------------------
+    def log_undo(self, undo: Callable[[], None]) -> None:
+        """Register an undo closure run (in reverse order) on abort."""
+        self.require_active()
+        self._undo.append(undo)
+
+    def on_release(self, release: Callable[["Action"], None]) -> None:
+        """Register a lock-release closure run at commit or abort."""
+        self.require_active()
+        self._release.append(release)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Make the action's effects permanent and release its locks."""
+        if self.state == COMMITTED:
+            return
+        self.require_active()
+        self.state = COMMITTED
+        self._undo.clear()
+        self._run_releases()
+
+    def abort(self) -> None:
+        """Undo every effect of the action and release its locks."""
+        if self.state == ABORTED:
+            return
+        if self.state == COMMITTED:
+            raise RuntimeError("cannot abort a committed action")
+        self.state = ABORTED
+        for undo in reversed(self._undo):
+            undo()
+        self._undo.clear()
+        self._run_releases()
+
+    def _run_releases(self) -> None:
+        releases, self._release = self._release, []
+        for release in releases:
+            release(self)
+
+
+def current_action(ctx: Any) -> Optional[Action]:
+    """The action attached to an activity context, if any."""
+    return getattr(ctx, "action", None)
+
+
+def run_as_action(ctx: Any, procedure: Callable, *args: Any):
+    """Run ``procedure(ctx, *args)`` as an atomic action (``yield from``).
+
+    The action is attached to *ctx* as ``ctx.action`` so atomic objects
+    used by the procedure can find it.  It commits on normal return and
+    aborts on any exception — including the
+    :class:`~repro.sim.process.Interrupt` delivered by coenter early
+    termination, which is how "recording grades is not something that
+    should be done part way" is honoured.
+    """
+    action = Action(ctx.env, label=getattr(procedure, "__name__", "action"))
+    previous = getattr(ctx, "action", None)
+    ctx.action = action
+    try:
+        result = yield from procedure(ctx, *args)
+    except BaseException:
+        action.abort()
+        raise
+    finally:
+        ctx.action = previous
+    action.commit()
+    return result

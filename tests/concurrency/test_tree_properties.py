@@ -1,0 +1,69 @@
+"""Property-based tests on the promise tree (§3.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency import PromiseTree
+from repro.sim import Environment
+
+
+@given(keys=st.lists(st.integers(min_value=-1000, max_value=1000), max_size=60))
+def test_in_order_traversal_is_sorted_unique(keys):
+    env = Environment()
+    tree = PromiseTree(env)
+    for key in keys:
+        tree.insert(key)
+    assert tree.keys_in_order() == sorted(set(keys))
+    assert len(tree) == len(set(keys))
+
+
+@given(keys=st.lists(st.integers(min_value=0, max_value=200), min_size=1, max_size=40, unique=True))
+def test_every_inserted_key_probes_successfully(keys):
+    env = Environment()
+    tree = PromiseTree(env)
+    for key in keys:
+        tree.insert(key, key * 2)
+    for key in keys:
+        node = tree.try_search(key)
+        assert node is not None
+        assert node.value == key * 2
+    # A key never inserted does not probe.
+    assert tree.try_search(max(keys) + 1) is None
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100), min_size=2, max_size=25, unique=True),
+    data=st.data(),
+)
+def test_concurrent_searches_always_resolve(keys, data):
+    """Whatever the insertion order and search targets, every search for
+    an eventually-inserted key resolves with the right value, at or after
+    its insertion time."""
+    env = Environment()
+    tree = PromiseTree(env)
+    targets = data.draw(
+        st.lists(st.sampled_from(keys), min_size=1, max_size=5, unique=True)
+    )
+    insert_times = {}
+    results = {}
+
+    def inserter(env):
+        for key in keys:
+            yield env.timeout(1.0)
+            tree.insert(key, "v%d" % key)
+            insert_times[key] = env.now
+
+    def searcher(env, key):
+        value = yield from tree.search(key)
+        results[key] = (value, env.now)
+
+    env.process(inserter(env))
+    for key in targets:
+        env.process(searcher(env, key))
+    env.run()
+
+    for key in targets:
+        value, found_at = results[key]
+        assert value == "v%d" % key
+        assert found_at >= insert_times[key]

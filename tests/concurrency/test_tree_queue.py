@@ -1,0 +1,158 @@
+"""Promise-based binary tree (§3.2) and the shared promise queue."""
+
+import pytest
+
+from repro.concurrency import PromiseQueue, PromiseTree, QueueClosed
+from repro.core import Outcome, Promise
+from repro.types import PromiseType, REAL
+
+from ..conftest import run_client
+
+
+# ----------------------------------------------------------------------
+# PromiseTree
+# ----------------------------------------------------------------------
+def test_insert_and_nonblocking_probe(env):
+    tree = PromiseTree(env)
+    tree.insert(5, "five")
+    tree.insert(3, "three")
+    tree.insert(8, "eight")
+    assert len(tree) == 3
+    assert tree.try_search(3).value == "three"
+    assert tree.try_search(9) is None
+    assert tree.keys_in_order() == [3, 5, 8]
+
+
+def test_duplicate_insert_updates_value(env):
+    tree = PromiseTree(env)
+    tree.insert(1, "a")
+    tree.insert(1, "b")
+    assert len(tree) == 1
+    assert tree.try_search(1).value == "b"
+
+
+def test_search_waits_for_future_insert(system):
+    """'If a search reaches a node that cannot be claimed yet, it waits
+    until the promise is ready.'"""
+    tree = PromiseTree(system.env)
+    tree.insert(10, "ten")
+
+    def searcher(ctx):
+        value = yield from tree.search(15)
+        return (value, ctx.now)
+
+    def inserter(ctx):
+        yield ctx.sleep(2.0)
+        tree.insert(15, "fifteen")
+
+    client = system.create_guardian("client")
+    search_proc = client.spawn(searcher)
+    client.spawn(inserter)
+    assert system.run(until=search_proc) == ("fifteen", 2.0)
+
+
+def test_parallel_inserters_and_searchers(system):
+    tree = PromiseTree(system.env)
+    results = {}
+
+    def searcher(ctx, key):
+        value = yield from tree.search(key)
+        results[key] = value
+
+    def inserter(ctx, items):
+        for key, value in items:
+            yield ctx.sleep(0.5)
+            tree.insert(key, value)
+
+    client = system.create_guardian("client")
+    for key in (4, 9, 1):
+        client.spawn(searcher, key)
+    client.spawn(inserter, [(9, "nine"), (1, "one"), (4, "four")])
+    system.run()
+    assert results == {4: "four", 9: "nine", 1: "one"}
+    assert tree.keys_in_order() == [1, 4, 9]
+
+
+def test_search_in_order_of_bst(env):
+    tree = PromiseTree(env)
+    for key in (50, 30, 70, 20, 40, 60, 80):
+        tree.insert(key)
+    assert tree.keys_in_order() == [20, 30, 40, 50, 60, 70, 80]
+
+
+# ----------------------------------------------------------------------
+# PromiseQueue
+# ----------------------------------------------------------------------
+def test_queue_fifo_of_promises(system):
+    queue = PromiseQueue(system.env)
+
+    def main(ctx):
+        first = Promise(ctx.env)
+        second = Promise(ctx.env)
+        yield queue.enq(first)
+        yield queue.enq(second)
+        a = yield queue.deq()
+        b = yield queue.deq()
+        return (a is first, b is second)
+
+    assert run_client(system, main) == (True, True)
+
+
+def test_queue_element_type_enforced(system):
+    pt = PromiseType(returns=[REAL])
+    queue = PromiseQueue(system.env, element_type=pt)
+
+    def main(ctx):
+        good = Promise(ctx.env, pt)
+        yield queue.enq(good)
+        bad = Promise(ctx.env, PromiseType())
+        with pytest.raises(TypeError):
+            queue.enq(bad)
+
+    run_client(system, main)
+
+
+def test_queue_close_reason_propagates(system):
+    queue = PromiseQueue(system.env)
+
+    def main(ctx):
+        queue.close("shutting down")
+        try:
+            yield queue.deq()
+        except QueueClosed:
+            return "closed"
+
+    assert run_client(system, main) == "closed"
+
+
+def test_queue_deq_blocks_until_enq(system):
+    queue = PromiseQueue(system.env)
+    promise = Promise(system.env)
+    promise.resolve(Outcome.normal("payload"))
+
+    def consumer(ctx):
+        item = yield queue.deq()
+        value = yield item.claim()
+        return (value, ctx.now)
+
+    def producer(ctx):
+        yield ctx.sleep(3.0)
+        yield queue.enq(promise)
+
+    client = system.create_guardian("client")
+    consumer_proc = client.spawn(consumer)
+    client.spawn(producer)
+    assert system.run(until=consumer_proc) == ("payload", 3.0)
+
+
+def test_queue_len_tracks_contents(system):
+    queue = PromiseQueue(system.env)
+
+    def main(ctx):
+        assert len(queue) == 0
+        yield queue.enq(Promise(ctx.env))
+        assert len(queue) == 1
+        yield queue.deq()
+        assert len(queue) == 0
+
+    run_client(system, main)

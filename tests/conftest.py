@@ -1,0 +1,39 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.entities import ArgusSystem
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    """A fresh simulation environment."""
+    return Environment()
+
+
+@pytest.fixture
+def system():
+    """A fresh Argus system with cheap, deterministic network defaults."""
+    return ArgusSystem(latency=1.0, kernel_overhead=0.1)
+
+
+def run_client(system: ArgusSystem, procedure, *args):
+    """Spawn ``procedure(ctx, *args)`` on a (possibly shared) client
+    guardian, run the simulation until it finishes, return its result."""
+    if "client" in system.guardians:
+        client = system.guardians["client"]
+    else:
+        client = system.create_guardian("client")
+    process = client.spawn(procedure, *args)
+    return system.run(until=process)
+
+
+def drain(system: ArgusSystem, extra_time: float = 0.0) -> None:
+    """Run the simulation until the calendar empties (or a bound)."""
+    if extra_time:
+        system.run(until=system.now + extra_time)
+    else:
+        system.run()

@@ -1,0 +1,91 @@
+"""Unit tests for call outcomes."""
+
+import pytest
+
+from repro.core import Failure, Outcome, Signal, Unavailable
+
+
+def test_normal_outcome_results():
+    outcome = Outcome.normal(1, 2)
+    assert outcome.is_normal
+    assert not outcome.is_exceptional
+    assert outcome.results == (1, 2)
+    assert outcome.condition == "normal"
+
+
+def test_exceptional_outcome():
+    outcome = Outcome.exceptional(Signal("foo", "x"))
+    assert outcome.is_exceptional
+    assert outcome.condition == "foo"
+    assert outcome.exception.exception_args() == ("x",)
+
+
+def test_unavailable_and_failure_constructors():
+    assert isinstance(Outcome.unavailable().exception, Unavailable)
+    assert isinstance(Outcome.failure("why").exception, Failure)
+    assert Outcome.failure("why").exception.reason == "why"
+
+
+def test_outcome_requires_exactly_one_side():
+    with pytest.raises(ValueError):
+        Outcome()
+    with pytest.raises(ValueError):
+        Outcome(results=(1,), exception=Failure("x"))
+
+
+def test_exception_must_be_argus_error():
+    with pytest.raises(TypeError):
+        Outcome(exception=ValueError("plain"))
+
+
+def test_results_access_on_exceptional_rejected():
+    outcome = Outcome.failure("x")
+    with pytest.raises(ValueError):
+        outcome.results
+
+
+def test_exception_access_on_normal_rejected():
+    with pytest.raises(ValueError):
+        Outcome.normal(1).exception
+
+
+def test_apply_unwraps_results():
+    assert Outcome.normal().apply() is None
+    assert Outcome.normal(5).apply() == 5
+    assert Outcome.normal(1, 2).apply() == (1, 2)
+
+
+def test_apply_raises_exception():
+    with pytest.raises(Signal) as info:
+        Outcome.signal("foo", 9).apply()
+    assert info.value.condition == "foo"
+    assert info.value.exception_args() == (9,)
+
+
+def test_outcome_equality():
+    assert Outcome.normal(1) == Outcome.normal(1)
+    assert Outcome.normal(1) != Outcome.normal(2)
+    assert Outcome.signal("a") == Outcome.signal("a")
+    assert Outcome.signal("a") != Outcome.signal("b")
+    assert Outcome.unavailable("x") == Outcome.unavailable("x")
+    assert Outcome.unavailable("x") != Outcome.failure("x")
+    assert Outcome.normal(1) != Outcome.failure("1")
+
+
+def test_signal_reserved_names_rejected():
+    with pytest.raises(ValueError):
+        Signal("unavailable")
+    with pytest.raises(ValueError):
+        Signal("failure")
+
+
+def test_signal_requires_name():
+    with pytest.raises(TypeError):
+        Signal("")
+    with pytest.raises(TypeError):
+        Signal(5)
+
+
+def test_signal_str():
+    assert str(Signal("foo")) == "foo"
+    assert str(Signal("foo", 1, "x")) == "foo(1, 'x')"

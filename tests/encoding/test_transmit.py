@@ -1,0 +1,115 @@
+"""Unit tests for the argument and outcome codecs."""
+
+import pytest
+
+from repro.core import Failure, Outcome, Signal, Unavailable
+from repro.encoding import ArgsCodec, DecodeError, EncodeError, OutcomeCodec, failing_user_type
+from repro.encoding.xrep import encode_value
+from repro.types import CHAR, INT, REAL, STRING, HandlerType
+
+
+HT = HandlerType(args=[INT, STRING], returns=[REAL], signals={"e1": [CHAR], "e2": []})
+
+
+def test_args_roundtrip():
+    codec = ArgsCodec(HT)
+    assert codec.decode(codec.encode((42, "hi"))) == (42, "hi")
+
+
+def test_args_encode_type_mismatch():
+    with pytest.raises(EncodeError):
+        ArgsCodec(HT).encode(("42", "hi"))
+
+
+def test_args_encode_wrong_count():
+    with pytest.raises(EncodeError):
+        ArgsCodec(HT).encode((42,))
+
+
+def test_outcome_normal_roundtrip():
+    codec = OutcomeCodec(HT)
+    outcome = codec.decode(codec.encode(Outcome.normal(2.5)))
+    assert outcome.is_normal
+    assert outcome.results == (2.5,)
+
+
+def test_outcome_signal_with_args_roundtrip():
+    codec = OutcomeCodec(HT)
+    outcome = codec.decode(codec.encode(Outcome.signal("e1", "x")))
+    assert outcome.is_exceptional
+    assert outcome.condition == "e1"
+    assert outcome.exception.exception_args() == ("x",)
+
+
+def test_outcome_signal_no_args_roundtrip():
+    codec = OutcomeCodec(HT)
+    outcome = codec.decode(codec.encode(Outcome.signal("e2")))
+    assert outcome.condition == "e2"
+
+
+def test_outcome_unavailable_roundtrip():
+    codec = OutcomeCodec(HT)
+    outcome = codec.decode(codec.encode(Outcome.unavailable("net down")))
+    assert isinstance(outcome.exception, Unavailable)
+    assert outcome.exception.reason == "net down"
+
+
+def test_outcome_failure_roundtrip():
+    codec = OutcomeCodec(HT)
+    outcome = codec.decode(codec.encode(Outcome.failure("bad")))
+    assert isinstance(outcome.exception, Failure)
+    assert outcome.exception.reason == "bad"
+
+
+def test_undeclared_signal_rejected_on_encode():
+    codec = OutcomeCodec(HT)
+    with pytest.raises(EncodeError, match="undeclared"):
+        codec.encode(Outcome.signal("mystery"))
+
+
+def test_undeclared_signal_rejected_on_decode():
+    sender = OutcomeCodec(HandlerType(returns=[REAL], signals={"extra": []}))
+    receiver = OutcomeCodec(HandlerType(returns=[REAL]))
+    data = sender.encode(Outcome.signal("extra"))
+    with pytest.raises(DecodeError, match="undeclared"):
+        receiver.decode(data)
+
+
+def test_empty_outcome_payload_rejected():
+    with pytest.raises(DecodeError):
+        OutcomeCodec(HT).decode(b"")
+
+
+def test_unknown_tag_rejected():
+    with pytest.raises(DecodeError, match="unknown outcome tag"):
+        OutcomeCodec(HT).decode(b"\xff")
+
+
+def test_trailing_bytes_rejected():
+    codec = OutcomeCodec(HT)
+    data = codec.encode(Outcome.failure("x")) + b"junk"
+    with pytest.raises(DecodeError, match="trailing"):
+        codec.decode(data)
+
+
+def test_send_style_handler_normal_outcome():
+    codec = OutcomeCodec(HandlerType(args=[STRING]))
+    outcome = codec.decode(codec.encode(Outcome.normal()))
+    assert outcome.is_normal
+    assert outcome.results == ()
+
+
+def test_failing_user_type_helper():
+    fragile = failing_user_type(fail_encode=True)
+    out = bytearray()
+    with pytest.raises(EncodeError):
+        encode_value(fragile, "poison", out)
+    encode_value(fragile, "fine", out)  # non-poison values pass
+
+    fragile2 = failing_user_type(fail_decode=True)
+    out2 = bytearray()
+    encode_value(fragile2, "poison", out2)
+    from repro.encoding.xrep import decode_value
+
+    with pytest.raises(DecodeError):
+        decode_value(fragile2, bytes(out2), 0)

@@ -1,0 +1,236 @@
+"""Unit and property tests for the external representation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.encoding import (
+    DecodeError,
+    EncodeError,
+    PortDescriptor,
+    decode_value,
+    decode_values,
+    encode_value,
+    encode_values,
+    type_fingerprint,
+)
+from repro.types import (
+    BOOL,
+    CHAR,
+    INT,
+    NULL,
+    REAL,
+    STRING,
+    ArrayOf,
+    HandlerType,
+    PortRefType,
+    RecordOf,
+    UserType,
+)
+
+
+def roundtrip(tp, value):
+    out = bytearray()
+    encode_value(tp, value, out)
+    decoded, offset = decode_value(tp, bytes(out), 0)
+    assert offset == len(out)
+    return decoded
+
+
+# ----------------------------------------------------------------------
+# Deterministic round trips
+# ----------------------------------------------------------------------
+def test_int_roundtrip():
+    for value in (0, 1, -1, 2**63 - 1, -(2**63)):
+        assert roundtrip(INT, value) == value
+
+
+def test_int_out_of_range_rejected():
+    with pytest.raises(EncodeError):
+        roundtrip(INT, 2**63)
+
+
+def test_real_roundtrip():
+    for value in (0.0, -2.5, 1e300, 3):
+        assert roundtrip(REAL, value) == float(value)
+
+
+def test_bool_roundtrip():
+    assert roundtrip(BOOL, True) is True
+    assert roundtrip(BOOL, False) is False
+
+
+def test_char_roundtrip_including_multibyte():
+    for value in ("a", "é", "\n", "字"):
+        assert roundtrip(CHAR, value) == value
+
+
+def test_string_roundtrip():
+    for value in ("", "hello", "ünïcødé 字符串"):
+        assert roundtrip(STRING, value) == value
+
+
+def test_null_roundtrip_is_empty():
+    out = bytearray()
+    encode_value(NULL, None, out)
+    assert out == b""
+    assert roundtrip(NULL, None) is None
+
+
+def test_array_roundtrip():
+    assert roundtrip(ArrayOf(INT), [1, 2, 3]) == [1, 2, 3]
+    assert roundtrip(ArrayOf(STRING), []) == []
+    assert roundtrip(ArrayOf(ArrayOf(INT)), [[1], [], [2, 3]]) == [[1], [], [2, 3]]
+
+
+def test_record_roundtrip():
+    record = RecordOf({"stu": STRING, "grade": INT})
+    assert roundtrip(record, {"stu": "amy", "grade": 90}) == {"stu": "amy", "grade": 90}
+
+
+def test_record_wrong_fields_rejected():
+    record = RecordOf({"a": INT})
+    with pytest.raises(EncodeError):
+        roundtrip(record, {"b": 1})
+
+
+def test_type_mismatch_raises_encode_error():
+    with pytest.raises(EncodeError):
+        roundtrip(INT, "five")
+    with pytest.raises(EncodeError):
+        roundtrip(BOOL, 1)
+    with pytest.raises(EncodeError):
+        roundtrip(CHAR, "ab")
+
+
+def test_port_descriptor_roundtrip():
+    ht = HandlerType(args=[CHAR])
+    descriptor = PortDescriptor("node1", "g:win", "w1", "putc", type_fingerprint(ht), ht)
+    decoded = roundtrip(PortRefType(ht), descriptor)
+    assert decoded == descriptor
+    assert decoded.handler_type == ht
+
+
+def test_port_descriptor_fingerprint_mismatch_rejected():
+    ht = HandlerType(args=[CHAR])
+    other = HandlerType(args=[INT])
+    descriptor = PortDescriptor("node1", "g:win", "w1", "putc", type_fingerprint(ht), ht)
+    out = bytearray()
+    encode_value(PortRefType(ht), descriptor, out)
+    with pytest.raises(DecodeError, match="port type mismatch"):
+        decode_value(PortRefType(other), bytes(out), 0)
+
+
+def test_truncated_data_raises_decode_error():
+    out = bytearray()
+    encode_value(STRING, "hello", out)
+    for cut in (0, 2, len(out) - 1):
+        with pytest.raises(DecodeError):
+            decode_value(STRING, bytes(out[:cut]), 0)
+
+
+def test_invalid_bool_byte_rejected():
+    with pytest.raises(DecodeError):
+        decode_value(BOOL, b"\x07", 0)
+
+
+def test_user_type_roundtrip():
+    money = UserType(
+        "money",
+        STRING,
+        to_external=lambda cents: "%d" % cents,
+        from_external=int,
+    )
+    assert roundtrip(money, 1999) == 1999
+
+
+def test_user_type_encode_failure_wrapped():
+    def bad_encode(value):
+        raise ValueError("cannot translate")
+
+    fragile = UserType("fragile", STRING, bad_encode, str)
+    with pytest.raises(EncodeError, match="cannot translate"):
+        roundtrip(fragile, "x")
+
+
+def test_user_type_decode_failure_wrapped():
+    def bad_decode(text):
+        raise ValueError("corrupt")
+
+    fragile = UserType("fragile", STRING, str, bad_decode)
+    out = bytearray()
+    encode_value(fragile, "x", out)
+    with pytest.raises(DecodeError, match="corrupt"):
+        decode_value(fragile, bytes(out), 0)
+
+
+def test_encode_values_and_decode_values():
+    types = [STRING, INT, ArrayOf(REAL)]
+    values = ("amy", 90, [1.5, 2.5])
+    data = encode_values(types, values)
+    assert decode_values(types, data) == ("amy", 90, [1.5, 2.5])
+
+
+def test_decode_values_rejects_trailing_bytes():
+    data = encode_values([INT], (1,)) + b"\x00"
+    with pytest.raises(DecodeError, match="trailing"):
+        decode_values([INT], data)
+
+
+def test_encode_values_count_mismatch():
+    with pytest.raises(EncodeError):
+        encode_values([INT, INT], (1,))
+
+
+# ----------------------------------------------------------------------
+# Property-based round trips
+# ----------------------------------------------------------------------
+_scalar_types = {
+    INT: st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    REAL: st.floats(allow_nan=False, allow_infinity=True),
+    BOOL: st.booleans(),
+    STRING: st.text(max_size=64),
+    CHAR: st.characters(),
+}
+
+
+@given(value=st.integers(min_value=-(2**63), max_value=2**63 - 1))
+def test_prop_int_roundtrip(value):
+    assert roundtrip(INT, value) == value
+
+
+@given(value=st.floats(allow_nan=False, allow_infinity=True))
+def test_prop_real_roundtrip(value):
+    assert roundtrip(REAL, value) == value
+
+
+@given(value=st.text(max_size=128))
+def test_prop_string_roundtrip(value):
+    assert roundtrip(STRING, value) == value
+
+
+@given(value=st.lists(st.integers(min_value=-(2**31), max_value=2**31), max_size=32))
+def test_prop_int_array_roundtrip(value):
+    assert roundtrip(ArrayOf(INT), value) == value
+
+
+@given(
+    stu=st.text(max_size=32),
+    grade=st.integers(min_value=0, max_value=100),
+    marks=st.lists(st.floats(allow_nan=False, allow_infinity=False), max_size=8),
+)
+def test_prop_record_roundtrip(stu, grade, marks):
+    record = RecordOf({"stu": STRING, "grade": INT, "marks": ArrayOf(REAL)})
+    value = {"stu": stu, "grade": grade, "marks": marks}
+    assert roundtrip(record, value) == value
+
+
+@given(data=st.binary(max_size=64))
+def test_prop_decoder_never_crashes_on_garbage(data):
+    """Garbage input must raise DecodeError, never a raw Python error."""
+    record = RecordOf({"s": STRING, "xs": ArrayOf(INT)})
+    for tp in (INT, REAL, BOOL, CHAR, STRING, ArrayOf(STRING), record):
+        try:
+            decode_value(tp, data, 0)
+        except DecodeError:
+            pass

@@ -1,0 +1,162 @@
+"""Guardians, ports, groups, agents (§2, §2.1)."""
+
+import pytest
+
+from repro.core import Failure
+from repro.entities import Agent, ArgusSystem
+from repro.types import INT, STRING, HandlerType
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+
+def _noop_handler(ctx, x):
+    yield ctx.compute(0.01)
+    return x
+
+
+def test_create_guardian_creates_node(system):
+    guardian = system.create_guardian("g")
+    assert guardian.node.name == "node:g"
+    assert guardian.alive
+
+
+def test_guardians_can_share_a_node(system):
+    a = system.create_guardian("a", node="shared")
+    b = system.create_guardian("b", node="shared")
+    assert a.node is b.node
+
+
+def test_duplicate_guardian_rejected(system):
+    system.create_guardian("g")
+    with pytest.raises(ValueError):
+        system.create_guardian("g")
+
+
+def test_unknown_guardian_lookup(system):
+    with pytest.raises(KeyError):
+        system.guardian("nope")
+
+
+def test_create_handler_default_group(system):
+    guardian = system.create_guardian("g")
+    port = guardian.create_handler("echo", ECHO, _noop_handler)
+    assert port.group.group_id == "main"
+    assert guardian.descriptor("echo").port_id == "echo"
+
+
+def test_create_handler_new_group(system):
+    guardian = system.create_guardian("g")
+    guardian.create_handler("echo", ECHO, _noop_handler, group="extra")
+    assert "extra" in guardian.groups
+    assert guardian.descriptor("echo", group="extra").group_id == "extra"
+
+
+def test_duplicate_port_in_group_rejected(system):
+    guardian = system.create_guardian("g")
+    guardian.create_handler("echo", ECHO, _noop_handler)
+    with pytest.raises(ValueError):
+        guardian.create_handler("echo", ECHO, _noop_handler)
+
+
+def test_duplicate_group_rejected(system):
+    guardian = system.create_guardian("g")
+    with pytest.raises(ValueError):
+        guardian.create_group("main")
+
+
+def test_descriptor_unknown_handler(system):
+    guardian = system.create_guardian("g")
+    with pytest.raises(KeyError):
+        guardian.descriptor("ghost")
+    with pytest.raises(KeyError):
+        guardian.descriptor("ghost", group="main")
+
+
+def test_descriptor_carries_type_fingerprint(system):
+    guardian = system.create_guardian("g")
+    guardian.create_handler("echo", ECHO, _noop_handler)
+    descriptor = guardian.descriptor("echo")
+    assert descriptor.handler_type == ECHO
+    assert descriptor.node == "node:g"
+    assert descriptor.group_address == "g:g"
+
+
+def test_agents_are_unique():
+    a = Agent("g")
+    b = Agent("g")
+    assert a != b
+    assert a.agent_id != b.agent_id
+    assert a == a
+    assert len({a, b}) == 2
+
+
+def test_each_spawn_gets_fresh_agent(system):
+    guardian = system.create_guardian("g")
+    seen = []
+
+    def proc(ctx):
+        seen.append(ctx.agent.agent_id)
+        yield ctx.sleep(0)
+
+    guardian.spawn(proc)
+    guardian.spawn(proc)
+    system.run()
+    assert len(set(seen)) == 2
+
+
+def test_spawn_on_destroyed_guardian_rejected(system):
+    guardian = system.create_guardian("g")
+    guardian.destroy()
+
+    def proc(ctx):
+        yield ctx.sleep(0)
+
+    with pytest.raises(Failure):
+        guardian.spawn(proc)
+
+
+def test_node_crash_kills_guardian_processes(system):
+    guardian = system.create_guardian("g")
+    progress = []
+
+    def proc(ctx):
+        for _ in range(100):
+            yield ctx.sleep(1.0)
+            progress.append(ctx.now)
+
+    guardian.spawn(proc)
+
+    def crasher(env):
+        yield env.timeout(3.5)
+        guardian.node.crash()
+
+    system.env.process(crasher(system.env))
+    system.run()
+    assert len(progress) == 3  # stopped at the crash
+
+
+def test_state_dict_shared_between_handlers(system):
+    guardian = system.create_guardian("g")
+
+    def writer(ctx, x):
+        ctx.guardian.state["value"] = x
+        yield ctx.compute(0.01)
+        return x
+
+    def reader(ctx, _x):
+        yield ctx.compute(0.01)
+        return ctx.guardian.state.get("value", -1)
+
+    guardian.create_handler("write", ECHO, writer)
+    guardian.create_handler("read", ECHO, reader)
+    client = system.create_guardian("client")
+
+    def main(ctx):
+        write = ctx.lookup("g", "write")
+        read = ctx.lookup("g", "read")
+        yield write.call(42)
+        value = yield read.call(0)
+        return value
+
+    process = client.spawn(main)
+    assert system.run(until=process) == 42

@@ -1,0 +1,85 @@
+"""The ArgusSystem facade: parameter plumbing and lookups."""
+
+import pytest
+
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+
+def test_network_parameters_plumbed():
+    system = ArgusSystem(
+        latency=7.0, bandwidth=123.0, kernel_overhead=0.9, jitter=2.0, loss_rate=0.25
+    )
+    assert system.network.latency == 7.0
+    assert system.network.bandwidth == 123.0
+    assert system.network.kernel_overhead == 0.9
+    assert system.network.jitter == 2.0
+    assert system.network.loss_rate == 0.25
+
+
+def test_seed_plumbed_to_rng():
+    assert ArgusSystem(seed=42).rng.seed == 42
+
+
+def test_stream_config_plumbed_to_senders():
+    config = StreamConfig(batch_size=3)
+    system = ArgusSystem(stream_config=config)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.01)
+        return x
+
+    server.create_handler("echo", HandlerType(args=[INT], returns=[INT]), echo)
+    client = system.create_guardian("client")
+
+    def main(ctx):
+        ref = ctx.lookup("server", "echo")
+        assert ref.stream_sender.config.batch_size == 3
+        yield ctx.sleep(0)
+
+    process = client.spawn(main)
+    system.run(until=process)
+
+
+def test_lookup_returns_descriptor():
+    system = ArgusSystem()
+    guardian = system.create_guardian("g")
+
+    def noop(ctx, x):
+        yield ctx.compute(0.01)
+        return x
+
+    guardian.create_handler("h", HandlerType(args=[INT], returns=[INT]), noop)
+    descriptor = system.lookup("g", "h")
+    assert descriptor.port_id == "h"
+    assert descriptor.node == "node:g"
+
+
+def test_lookup_unknown_raises():
+    system = ArgusSystem()
+    with pytest.raises(KeyError):
+        system.lookup("nobody", "h")
+
+
+def test_now_tracks_env():
+    system = ArgusSystem()
+    assert system.now == 0.0
+    system.run(until=5.0)
+    assert system.now == 5.0
+
+
+def test_stats_snapshot_shape():
+    stats = ArgusSystem().stats()
+    assert set(stats) >= {
+        "messages_sent",
+        "messages_delivered",
+        "bytes_sent",
+        "kernel_calls",
+    }
+
+
+def test_process_spawn_overhead_plumbed():
+    system = ArgusSystem(process_spawn_overhead=0.25)
+    assert system.process_spawn_overhead == 0.25

@@ -1,0 +1,117 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_source():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_identifiers_and_keywords():
+    assert kinds("stream foo fork bar") == [
+        ("keyword", "stream"),
+        ("ident", "foo"),
+        ("keyword", "fork"),
+        ("ident", "bar"),
+    ]
+
+
+def test_underscored_identifiers():
+    assert kinds("record_grade _x a_1") == [
+        ("ident", "record_grade"),
+        ("ident", "_x"),
+        ("ident", "a_1"),
+    ]
+
+
+def test_integers_and_reals():
+    assert kinds("42 0 3.5 1e3 2.5e-2") == [
+        ("int", 42),
+        ("int", 0),
+        ("real", 3.5),
+        ("real", 1000.0),
+        ("real", 0.025),
+    ]
+
+
+def test_int_followed_by_dot_is_not_real():
+    # "grades[i].stu" style: 1 . foo must lex as int, dot, ident.
+    assert kinds("1.foo") == [("int", 1), ("op", "."), ("ident", "foo")]
+
+
+def test_string_literals_with_escapes():
+    assert kinds(r'"hello" "a\nb" "q\"q"') == [
+        ("string", "hello"),
+        ("string", "a\nb"),
+        ("string", 'q"q'),
+    ]
+
+
+def test_unterminated_string_rejected():
+    with pytest.raises(LexError, match="unterminated"):
+        tokenize('"oops')
+
+
+def test_newline_in_string_rejected():
+    with pytest.raises(LexError):
+        tokenize('"a\nb"')
+
+
+def test_char_literals():
+    assert kinds(r"'a' '\n' '\\'") == [
+        ("char", "a"),
+        ("char", "\n"),
+        ("char", "\\"),
+    ]
+
+
+def test_unterminated_char_rejected():
+    with pytest.raises(LexError):
+        tokenize("'a")
+
+
+def test_comments_stripped():
+    assert kinds("x % this is a comment\ny") == [("ident", "x"), ("ident", "y")]
+
+
+def test_operators():
+    assert [v for _k, v in kinds(":= <= >= ~= = < > + - * / $ # .")] == [
+        ":=",
+        "<=",
+        ">=",
+        "~=",
+        "=",
+        "<",
+        ">",
+        "+",
+        "-",
+        "*",
+        "/",
+        "$",
+        "#",
+        ".",
+    ]
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].pos.line == 1 and tokens[0].pos.column == 1
+    assert tokens[1].pos.line == 2 and tokens[1].pos.column == 3
+
+
+def test_unexpected_character_rejected():
+    with pytest.raises(LexError, match="unexpected character"):
+        tokenize("a @ b")
+
+
+def test_unknown_escape_rejected():
+    with pytest.raises(LexError):
+        tokenize(r'"\q"')

@@ -1,0 +1,280 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ParseError, parse_module
+from repro.lang import ast as A
+from repro.types import INT, REAL, STRING, ArrayOf, HandlerType, PromiseType, RecordOf
+
+
+def test_equates_resolve_in_order():
+    module = parse_module(
+        """
+        sinfo = record [ stu: string, grade: int ]
+        info = array [ sinfo ]
+        """
+    )
+    assert module.equates["sinfo"] == RecordOf({"stu": STRING, "grade": INT})
+    assert module.equates["info"] == ArrayOf(module.equates["sinfo"])
+
+
+def test_equate_forward_reference_rejected():
+    with pytest.raises(ParseError, match="unknown type name"):
+        parse_module("info = array [ sinfo ]\nsinfo = record [ x: int ]")
+
+
+def test_duplicate_equate_rejected():
+    with pytest.raises(ParseError, match="duplicate equate"):
+        parse_module("t = int\nt = real")
+
+
+def test_paper_handlertype_syntax():
+    """`ht = handlertype (int) returns (real) signals (e1(char), e2)`"""
+    module = parse_module(
+        "ht = handlertype (int) returns (real) signals (e1(char), e2)"
+    )
+    ht = module.equates["ht"]
+    assert isinstance(ht, HandlerType)
+    assert ht.args == (INT,)
+    assert ht.returns == (REAL,)
+    assert set(ht.signals) == {"e1", "e2"}
+
+
+def test_paper_promise_syntax():
+    """`pt = promise returns (real) signals (foo)`"""
+    module = parse_module("pt = promise returns (real) signals (foo)")
+    pt = module.equates["pt"]
+    assert isinstance(pt, PromiseType)
+    assert pt.returns == (REAL,)
+    assert "foo" in pt.signals
+
+
+def test_guardian_with_handlers():
+    module = parse_module(
+        """
+        guardian mailer is
+          handler send_mail (user: string, msg: string) signals (no_such_user)
+            return ()
+          end
+          handler read_mail (user: string) returns (array[string]) signals (no_such_user)
+            return (#["m"])
+          end
+        end
+        """
+    )
+    guardian = module.guardian("mailer")
+    assert [h.name for h in guardian.handlers] == ["send_mail", "read_mail"]
+    assert guardian.handler("read_mail").handler_type.returns == (ArrayOf(STRING),)
+
+
+def test_program_and_proc_declarations():
+    module = parse_module(
+        """
+        proc helper (x: int) returns (int)
+          return (x)
+        end
+        program main
+          y: int := helper(1)
+        end
+        """
+    )
+    assert module.proc("helper").returns == (INT,)
+    assert module.program("main").name == "main"
+
+
+def test_statement_forms_parse():
+    module = parse_module(
+        """
+        guardian g is
+          handler h (x: int) returns (int)
+            return (x)
+          end
+          handler n (x: int)
+            return ()
+          end
+        end
+        pt = promise returns (int)
+        program main
+          p: pt := stream g.h(1)
+          stream g.n(2)
+          send g.n(3)
+          flush g.n
+          synch g.n
+          v: int := pt$claim(p)
+          if v > 0 then
+            v := v - 1
+          elseif v = 0 then
+            v := 1
+          else
+            v := 0
+          end
+          while v > 0 do
+            v := v - 1
+          end
+          xs: array[int] := #[1, 2, 3]
+          for x: int in xs do
+            v := v + x
+          end
+          begin
+            v := v * 2
+          end
+          coenter
+          action
+            v := 1
+          action
+            v := 2
+          end
+        end
+        """
+    )
+    statements = module.program("main").body.statements
+    expected = [
+        A.VarDecl,
+        A.StreamStmt,
+        A.SendStmt,
+        A.FlushStmt,
+        A.SynchStmt,
+        A.VarDecl,
+        A.IfStmt,
+        A.WhileStmt,
+        A.VarDecl,
+        A.ForStmt,
+        A.BeginStmt,
+        A.CoenterStmt,
+    ]
+    assert [type(s) for s in statements] == expected
+
+
+def test_except_attaches_to_statement():
+    module = parse_module(
+        """
+        guardian g is
+          handler h (x: int) returns (int) signals (bad)
+            return (x)
+          end
+        end
+        program main
+          v: int := 0
+          v := g.h(1) except when bad: v := -1 when others: v := -2 end
+        end
+        """
+    )
+    statements = module.program("main").body.statements
+    assert isinstance(statements[1], A.ExceptStmt)
+    arms = statements[1].arms
+    assert arms[0].names == ["bad"]
+    assert arms[1].is_others
+
+
+def test_except_requires_when():
+    with pytest.raises(ParseError, match="when"):
+        parse_module(
+            """
+            program main
+              x: int := 1 except end
+            end
+            """
+        )
+
+
+def test_when_with_params():
+    module = parse_module(
+        """
+        guardian g is
+          handler h (x: int) returns (int) signals (e(string, int))
+            return (x)
+          end
+        end
+        program main
+          v: int := g.h(1) except when e(s: string, n: int): v: int := n end
+        end
+        """
+    )
+    arm = module.program("main").body.statements[0].arms[0]
+    assert arm.params == [("s", STRING), ("n", INT)]
+
+
+def test_operator_precedence():
+    module = parse_module("program main\n x: int := 1 + 2 * 3\nend")
+    expr = module.program("main").body.statements[0].expr
+    assert isinstance(expr, A.BinOp) and expr.op == "+"
+    assert isinstance(expr.right, A.BinOp) and expr.right.op == "*"
+
+
+def test_comparison_is_non_associative():
+    with pytest.raises(ParseError):
+        parse_module("program main\n x: bool := 1 < 2 < 3\nend")
+
+
+def test_record_construction_and_field_access():
+    module = parse_module(
+        """
+        sinfo = record [ stu: string, grade: int ]
+        program main
+          s: sinfo := sinfo${stu: "amy", grade: 90}
+          g: int := s.grade
+        end
+        """
+    )
+    construct = module.program("main").body.statements[0].expr
+    assert isinstance(construct, A.RecordConstruct)
+    access = module.program("main").body.statements[1].expr
+    assert isinstance(access, A.FieldAccess)
+
+
+def test_fork_expression():
+    module = parse_module(
+        """
+        proc work (x: int) returns (int)
+          return (x)
+        end
+        pt = promise returns (int)
+        program main
+          p: pt := fork work(5)
+        end
+        """
+    )
+    expr = module.program("main").body.statements[0].expr
+    assert isinstance(expr, A.ForkExpr)
+    assert expr.proc_name == "work"
+
+
+def test_queue_type_and_ops():
+    module = parse_module(
+        """
+        pt = promise returns (int)
+        program main
+          q: queue[pt] := queue[pt]$create()
+        end
+        """
+    )
+    decl = module.program("main").body.statements[0]
+    assert isinstance(decl.var_type, A.QueueType)
+
+
+def test_stream_requires_call():
+    with pytest.raises(ParseError, match="requires a call"):
+        parse_module("program main\n stream x\nend")
+
+
+def test_coenter_requires_action():
+    with pytest.raises(ParseError, match="action"):
+        parse_module("program main\n coenter end\nend")
+
+
+def test_unknown_declaration_rejected():
+    with pytest.raises(ParseError, match="declaration"):
+        parse_module("42")
+
+
+def test_signal_statement():
+    module = parse_module(
+        """
+        proc p (x: int) signals (bad(int))
+          signal bad(x)
+        end
+        """
+    )
+    stmt = module.proc("p").body.statements[0]
+    assert isinstance(stmt, A.SignalStmt)
+    assert stmt.name == "bad"

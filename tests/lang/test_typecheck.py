@@ -1,0 +1,428 @@
+"""Static type checker tests: the paper's typing guarantees as code."""
+
+import pytest
+
+from repro.lang import TypeCheckError, load_module
+
+
+def accepts(source):
+    load_module(source)
+
+
+def rejects(source, match=None):
+    with pytest.raises(TypeCheckError, match=match):
+        load_module(source)
+
+
+GUARDIAN = """
+guardian g is
+  handler h (x: int) returns (real) signals (foo(char), e2)
+    return (float(x))
+  end
+  handler noresult (x: int)
+    return ()
+  end
+end
+"""
+
+
+def test_well_typed_program_accepted():
+    accepts(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        program main
+          p: pt := stream g.h(3)
+          y: real := pt$claim(p)
+        end
+        """
+    )
+
+
+def test_stream_call_has_derived_promise_type():
+    """§3: 'Associated with each handler type is a related promise type'
+    — assigning to the wrong promise type is a static error."""
+    rejects(
+        GUARDIAN
+        + """
+        wrong = promise returns (int)
+        program main
+          p: wrong := stream g.h(3)
+        end
+        """,
+        match="cannot initialize",
+    )
+
+
+def test_promise_type_must_carry_signals():
+    rejects(
+        GUARDIAN
+        + """
+        incomplete = promise returns (real)
+        program main
+          p: incomplete := stream g.h(3)
+        end
+        """
+    )
+
+
+def test_call_argument_types_checked():
+    rejects(
+        GUARDIAN + 'program main\n y: real := g.h("text")\nend',
+        match="expected int",
+    )
+
+
+def test_call_argument_count_checked():
+    rejects(
+        GUARDIAN + "program main\n y: real := g.h(1, 2)\nend",
+        match="takes 1 arguments",
+    )
+
+
+def test_claim_result_type_checked():
+    rejects(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        program main
+          p: pt := stream g.h(3)
+          y: string := pt$claim(p)
+        end
+        """,
+        match="cannot initialize",
+    )
+
+
+def test_claim_of_mismatched_promise_rejected():
+    rejects(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        other = promise returns (string)
+        program main
+          p: pt := stream g.h(3)
+          y: real := other$claim(p)
+        end
+        """
+    )
+
+
+def test_except_arm_must_be_raisable():
+    """The headline guarantee: an except arm naming an exception no call
+    can raise is rejected statically."""
+    rejects(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        program main
+          p: pt := stream g.h(3)
+          y: real := 0.0
+          y := pt$claim(p) except when ghost: y := 1.0 end
+        end
+        """,
+        match="ghost",
+    )
+
+
+def test_except_arm_for_declared_signal_accepted():
+    accepts(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        program main
+          p: pt := stream g.h(3)
+          y: real := 0.0
+          y := pt$claim(p) except when foo(c: char): y := 1.0 when e2: y := 2.0 end
+        end
+        """
+    )
+
+
+def test_unavailable_failure_always_allowed():
+    """'Since any call can fail, every handler can raise ... failure and
+    unavailable.'"""
+    accepts(
+        GUARDIAN
+        + """
+        program main
+          y: real := 0.0
+          y := g.h(1) except
+            when unavailable(s: string): y := 1.0
+            when failure(s: string): y := 2.0
+          end
+        end
+        """
+    )
+
+
+def test_exception_reply_allowed_on_synch():
+    accepts(
+        GUARDIAN
+        + """
+        program main
+          begin
+            stream g.noresult(1)
+            synch g.noresult
+          end except when exception_reply: x: int := 0 end
+        end
+        """
+    )
+
+
+def test_when_arm_param_types_checked():
+    rejects(
+        GUARDIAN
+        + """
+        pt = promise returns (real) signals (foo(char), e2)
+        program main
+          p: pt := stream g.h(3)
+          y: real := 0.0
+          y := pt$claim(p) except when foo(n: int): y := 1.0 end
+        end
+        """,
+        match="carries",
+    )
+
+
+def test_signal_must_be_declared():
+    rejects(
+        """
+        guardian g is
+          handler h (x: int) returns (int)
+            signal oops
+          end
+        end
+        """,
+        match="not declared",
+    )
+
+
+def test_signal_arg_types_checked():
+    rejects(
+        """
+        guardian g is
+          handler h (x: int) returns (int) signals (bad(string))
+            signal bad(42)
+          end
+        end
+        """,
+        match="expected string",
+    )
+
+
+def test_signal_in_program_rejected():
+    rejects(
+        "program main\n signal anything\nend",
+        match="not allowed in a program",
+    )
+
+
+def test_return_type_checked():
+    rejects(
+        """
+        guardian g is
+          handler h (x: int) returns (int)
+            return ("nope")
+          end
+        end
+        """,
+        match="expected int",
+    )
+
+
+def test_return_count_checked():
+    rejects(
+        """
+        guardian g is
+          handler h (x: int) returns (int)
+            return (1, 2)
+          end
+        end
+        """,
+        match="declares 1",
+    )
+
+
+def test_undeclared_variable_rejected():
+    rejects("program main\n x := 5\nend", match="undeclared")
+
+
+def test_redeclaration_rejected():
+    rejects(
+        "program main\n x: int := 1\n x: int := 2\nend", match="redeclaration"
+    )
+
+
+def test_condition_must_be_bool():
+    rejects("program main\n if 1 then x: int := 0 end\nend", match="bool")
+    rejects("program main\n while 1 do x: int := 0 end\nend", match="bool")
+
+
+def test_for_iterates_arrays_only():
+    rejects(
+        "program main\n for x: int in 5 do y: int := x end\nend",
+        match="iterates arrays",
+    )
+
+
+def test_for_variable_type_must_match():
+    rejects(
+        "program main\n xs: array[int] := #[1]\n for x: string in xs do y: string := x end\nend",
+        match="cannot hold",
+    )
+
+
+def test_arithmetic_type_rules():
+    accepts("program main\n x: int := 1 + 2\n y: real := 1 + 2.5\n z: real := 1 / 2\nend")
+    rejects('program main\n x: int := 1 + "s"\nend')
+    rejects("program main\n x: int := 1 + 2.5\nend", match="cannot initialize")
+
+
+def test_string_concatenation():
+    accepts('program main\n s: string := "a" + "b"\nend')
+
+
+def test_comparison_rules():
+    accepts('program main\n b: bool := 1 < 2\n c: bool := "a" = "b"\nend')
+    rejects('program main\n b: bool := 1 < "2"\nend', match="compare")
+
+
+def test_guardian_not_a_value():
+    rejects(GUARDIAN + "program main\n x: int := g\nend", match="not a value")
+
+
+def test_unknown_handler_rejected():
+    rejects(GUARDIAN + "program main\n x: int := g.nothing(1)\nend", match="no handler")
+
+
+def test_flush_synch_require_handler():
+    rejects("program main\n x: int := 1\n flush x\nend", match="requires a handler")
+
+
+def test_fork_unknown_proc_rejected():
+    rejects("program main\n p: promise := fork nobody(1)\nend", match="unknown procedure")
+
+
+def test_fork_promise_type_derived_from_proc():
+    accepts(
+        """
+        proc work (x: int) returns (int) signals (neg)
+          if x < 0 then signal neg end
+          return (x)
+        end
+        pt = promise returns (int) signals (neg)
+        program main
+          p: pt := fork work(3)
+          v: int := 0
+          v := pt$claim(p) except when neg: v := -1 end
+        end
+        """
+    )
+
+
+def test_array_literal_element_types_unify():
+    accepts("program main\n xs: array[real] := #[1, 2.5]\nend")
+    rejects('program main\n xs: array[int] := #[1, "two"]\nend', match="mixes")
+
+
+def test_empty_array_literal_takes_context_type():
+    accepts("program main\n xs: array[int] := #[]\nend")
+
+
+def test_record_construction_checked():
+    source = """
+    sinfo = record [ stu: string, grade: int ]
+    program main
+      s: sinfo := sinfo${stu: "amy", grade: 90}
+    end
+    """
+    accepts(source)
+    rejects(source.replace('grade: 90', 'grade: "A"'), match="expected int")
+    rejects(
+        """
+        sinfo = record [ stu: string, grade: int ]
+        program main
+          s: sinfo := sinfo${stu: "amy"}
+        end
+        """,
+        match="do not match",
+    )
+
+
+def test_queue_ops_typed():
+    accepts(
+        """
+        pt = promise returns (int)
+        guardian g is
+          handler h (x: int) returns (int)
+            return (x)
+          end
+        end
+        program main
+          q: queue[pt] := queue[pt]$create()
+          queue[pt]$enq(q, stream g.h(1))
+          p: pt := queue[pt]$deq(q)
+        end
+        """
+    )
+    rejects(
+        """
+        pt = promise returns (int)
+        other = promise returns (string)
+        guardian g is
+          handler h (x: int) returns (int)
+            return (x)
+          end
+        end
+        program main
+          q: queue[other] := queue[other]$create()
+          queue[other]$enq(q, stream g.h(1))
+        end
+        """
+    )
+
+
+def test_duplicate_guardian_names_rejected():
+    rejects(
+        "guardian a is end\nguardian a is end",
+        match="duplicate name",
+    )
+
+
+def test_duplicate_handler_names_rejected():
+    rejects(
+        """
+        guardian g is
+          handler h (x: int) returns (int)
+            return (x)
+          end
+          handler h (y: int) returns (int)
+            return (y)
+          end
+        end
+        """,
+        match="duplicate handler",
+    )
+
+
+def test_others_binds_string_reason():
+    accepts(
+        GUARDIAN
+        + """
+        program main
+          y: real := 0.0
+          y := g.h(1) except when others(why: string): y := 1.0 end
+        end
+        """
+    )
+    rejects(
+        GUARDIAN
+        + """
+        program main
+          y: real := 0.0
+          y := g.h(1) except when others(why: int): y := 1.0 end
+        end
+        """,
+        match="string reason",
+    )

@@ -1,0 +1,93 @@
+"""Unit tests for alarms and deterministic RNG streams."""
+
+import pytest
+
+from repro.sim import Alarm, Environment, RngRegistry
+
+
+def test_alarm_fires_at_deadline(env):
+    fired = []
+    alarm = Alarm(env, lambda: fired.append(env.now))
+    alarm.arm(5.0)
+    env.run()
+    assert fired == [5.0]
+
+
+def test_alarm_cancel_prevents_firing(env):
+    fired = []
+    alarm = Alarm(env, lambda: fired.append(env.now))
+    alarm.arm(5.0)
+    alarm.cancel()
+    env.run()
+    assert fired == []
+    assert not alarm.armed
+
+
+def test_alarm_rearm_replaces_deadline(env):
+    fired = []
+    alarm = Alarm(env, lambda: fired.append(env.now))
+    alarm.arm(5.0)
+    alarm.arm(2.0)
+    env.run()
+    assert fired == [2.0]
+
+
+def test_alarm_arm_if_idle(env):
+    fired = []
+    alarm = Alarm(env, lambda: fired.append(env.now))
+    alarm.arm_if_idle(3.0)
+    alarm.arm_if_idle(10.0)  # ignored; already armed
+    env.run()
+    assert fired == [3.0]
+
+
+def test_alarm_can_rearm_from_callback(env):
+    fired = []
+
+    def on_fire():
+        fired.append(env.now)
+        if len(fired) < 3:
+            alarm.arm(1.0)
+
+    alarm = Alarm(env, on_fire)
+    alarm.arm(1.0)
+    env.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_alarm_negative_delay_rejected(env):
+    alarm = Alarm(env, lambda: None)
+    with pytest.raises(ValueError):
+        alarm.arm(-1.0)
+
+
+def test_rng_streams_are_deterministic():
+    a = RngRegistry(seed=7)
+    b = RngRegistry(seed=7)
+    assert [a.stream("x").random() for _ in range(5)] == [
+        b.stream("x").random() for _ in range(5)
+    ]
+
+
+def test_rng_streams_are_independent():
+    registry = RngRegistry(seed=7)
+    first = [registry.stream("x").random() for _ in range(3)]
+    # Creating another stream must not perturb the first.
+    registry.stream("y").random()
+    registry2 = RngRegistry(seed=7)
+    [registry2.stream("y").random() for _ in range(10)]
+    second = [registry2.stream("x").random() for _ in range(3)]
+    assert first == second
+
+
+def test_rng_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random()
+    b = RngRegistry(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_rng_reset_restores_sequences():
+    registry = RngRegistry(seed=3)
+    first = registry.stream("s").random()
+    registry.reset()
+    assert registry.stream("s").random() == first

@@ -1,0 +1,297 @@
+"""Unit tests for semaphores, locks, condition variables and queues."""
+
+import pytest
+
+from repro.sim import (
+    BlockingQueue,
+    ConditionVariable,
+    Environment,
+    Lock,
+    QueueClosed,
+    Semaphore,
+)
+
+
+# ----------------------------------------------------------------------
+# Semaphore
+# ----------------------------------------------------------------------
+def test_semaphore_immediate_acquire(env):
+    sem = Semaphore(env, 2)
+
+    def proc(env):
+        yield sem.acquire()
+        yield sem.acquire()
+        return sem.value
+
+    assert env.run(until=env.process(proc(env))) == 0
+
+
+def test_semaphore_blocks_when_exhausted(env):
+    sem = Semaphore(env, 1)
+    log = []
+
+    def holder(env):
+        yield sem.acquire()
+        yield env.timeout(5.0)
+        sem.release()
+
+    def waiter(env):
+        yield sem.acquire()
+        log.append(env.now)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert log == [5.0]
+
+
+def test_semaphore_negative_value_rejected(env):
+    with pytest.raises(ValueError):
+        Semaphore(env, -1)
+
+
+def test_semaphore_try_acquire(env):
+    sem = Semaphore(env, 1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_fifo_wakeup(env):
+    sem = Semaphore(env, 0)
+    order = []
+
+    def waiter(env, tag):
+        yield sem.acquire()
+        order.append(tag)
+
+    for tag in ("a", "b", "c"):
+        env.process(waiter(env, tag))
+
+    def releaser(env):
+        for _ in range(3):
+            yield env.timeout(1.0)
+            sem.release()
+
+    env.process(releaser(env))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# Lock
+# ----------------------------------------------------------------------
+def test_lock_mutual_exclusion(env):
+    lock = Lock(env)
+    inside = []
+
+    def proc(env, tag):
+        yield lock.acquire()
+        inside.append(tag)
+        assert len(inside) == 1
+        yield env.timeout(1.0)
+        inside.remove(tag)
+        lock.release()
+
+    env.process(proc(env, "a"))
+    env.process(proc(env, "b"))
+    env.run()
+    assert lock.locked is False
+
+
+def test_lock_release_unlocked_rejected(env):
+    lock = Lock(env)
+    with pytest.raises(RuntimeError):
+        lock.release()
+
+
+# ----------------------------------------------------------------------
+# ConditionVariable
+# ----------------------------------------------------------------------
+def test_condition_variable_wait_notify(env):
+    lock = Lock(env)
+    cv = ConditionVariable(env, lock)
+    log = []
+
+    def waiter(env):
+        yield lock.acquire()
+        notified = yield cv.wait()
+        log.append(("woken", notified, env.now))
+        lock.release()
+
+    def notifier(env):
+        yield env.timeout(3.0)
+        yield lock.acquire()
+        cv.notify()
+        lock.release()
+
+    env.process(waiter(env))
+    env.process(notifier(env))
+    env.run()
+    assert log == [("woken", True, 3.0)]
+
+
+def test_condition_variable_timeout(env):
+    lock = Lock(env)
+    cv = ConditionVariable(env, lock)
+    log = []
+
+    def waiter(env):
+        yield lock.acquire()
+        notified = yield cv.wait(timeout=2.0)
+        log.append((notified, env.now))
+        lock.release()
+
+    env.process(waiter(env))
+    env.run()
+    assert log == [(False, 2.0)]
+
+
+def test_condition_variable_wait_requires_lock(env):
+    lock = Lock(env)
+    cv = ConditionVariable(env, lock)
+    with pytest.raises(RuntimeError):
+        cv.wait()
+
+
+def test_condition_variable_notify_all(env):
+    lock = Lock(env)
+    cv = ConditionVariable(env, lock)
+    woken = []
+
+    def waiter(env, tag):
+        yield lock.acquire()
+        yield cv.wait()
+        woken.append(tag)
+        lock.release()
+
+    for tag in range(3):
+        env.process(waiter(env, tag))
+
+    def notifier(env):
+        yield env.timeout(1.0)
+        yield lock.acquire()
+        assert cv.notify_all() == 3
+        lock.release()
+
+    env.process(notifier(env))
+    env.run()
+    assert sorted(woken) == [0, 1, 2]
+
+
+# ----------------------------------------------------------------------
+# BlockingQueue
+# ----------------------------------------------------------------------
+def test_queue_fifo_order(env):
+    queue = BlockingQueue(env)
+    out = []
+
+    def consumer(env):
+        for _ in range(3):
+            item = yield queue.get()
+            out.append(item)
+
+    def producer(env):
+        for item in (1, 2, 3):
+            yield env.timeout(1.0)
+            queue.put(item)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert out == [1, 2, 3]
+
+
+def test_queue_get_blocks_until_put(env):
+    queue = BlockingQueue(env)
+    times = []
+
+    def consumer(env):
+        yield queue.get()
+        times.append(env.now)
+
+    def producer(env):
+        yield env.timeout(4.0)
+        queue.put("x")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert times == [4.0]
+
+
+def test_queue_capacity_blocks_putter(env):
+    queue = BlockingQueue(env, capacity=1)
+    log = []
+
+    def producer(env):
+        yield queue.put("a")
+        log.append(("put-a", env.now))
+        yield queue.put("b")
+        log.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(5.0)
+        item = yield queue.get()
+        log.append(("got", item, env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-a", 0.0) in log
+    assert ("put-b", 5.0) in log
+
+
+def test_queue_close_fails_blocked_getter(env):
+    queue = BlockingQueue(env)
+    outcome = []
+
+    def consumer(env):
+        try:
+            yield queue.get()
+        except QueueClosed as closed:
+            outcome.append(closed.reason)
+
+    def closer(env):
+        yield env.timeout(1.0)
+        queue.close("shutdown")
+
+    env.process(consumer(env))
+    env.process(closer(env))
+    env.run()
+    assert outcome == ["shutdown"]
+
+
+def test_queue_put_after_close_fails(env):
+    queue = BlockingQueue(env)
+    queue.close()
+
+    def producer(env):
+        try:
+            yield queue.put(1)
+        except QueueClosed:
+            return "refused"
+
+    assert env.run(until=env.process(producer(env))) == "refused"
+
+
+def test_queue_try_get_and_try_put(env):
+    queue = BlockingQueue(env, capacity=1)
+    assert queue.try_put("a")
+    assert not queue.try_put("b")
+    assert queue.try_get() == "a"
+    with pytest.raises(IndexError):
+        queue.try_get()
+
+
+def test_queue_len(env):
+    queue = BlockingQueue(env)
+    queue.put(1)
+    queue.put(2)
+    assert len(queue) == 2
+
+
+def test_queue_invalid_capacity(env):
+    with pytest.raises(ValueError):
+        BlockingQueue(env, capacity=0)

@@ -1,0 +1,54 @@
+"""Shared world-building helpers for stream tests."""
+
+from __future__ import annotations
+
+from repro.core import Signal
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, STRING, HandlerType
+
+ECHO_TYPE = HandlerType(args=[INT], returns=[INT], signals={"negative": []})
+NOTE_TYPE = HandlerType(args=[STRING])  # no results -> stream calls go as sends
+
+
+def build_echo_world(
+    stream_config: StreamConfig = None,
+    echo_cost: float = 0.0,
+    **system_kwargs,
+):
+    """A server guardian with an ``echo`` handler and a ``note`` handler.
+
+    ``echo(x)`` returns ``x`` (signals ``negative`` for x < 0) after
+    ``echo_cost`` simulated time; ``note(s)`` records s in
+    ``server.state['notes']`` and has no results.
+    """
+    defaults = dict(latency=1.0, kernel_overhead=0.1)
+    defaults.update(system_kwargs)
+    system = ArgusSystem(stream_config=stream_config, **defaults)
+    server = system.create_guardian("server")
+    server.state["notes"] = []
+    server.state["echo_calls"] = 0
+
+    def echo(ctx, x):
+        ctx.guardian.state["echo_calls"] += 1
+        if echo_cost > 0:
+            yield ctx.compute(echo_cost)
+        if x < 0:
+            raise Signal("negative")
+        return x
+
+    def note(ctx, text):
+        if echo_cost > 0:
+            yield ctx.compute(echo_cost)
+        ctx.guardian.state["notes"].append(text)
+        return None
+
+    server.create_handler("echo", ECHO_TYPE, echo)
+    server.create_handler("note", NOTE_TYPE, note)
+    client = system.create_guardian("client")
+    return system, server, client
+
+
+def run_main(system, client, procedure, *args):
+    process = client.spawn(procedure, *args)
+    return system.run(until=process)

@@ -1,0 +1,148 @@
+"""The flush and synch primitives (§2, §3)."""
+
+import pytest
+
+from repro.core import ExceptionReply
+from repro.streams import StreamConfig
+
+from .helpers import build_echo_world, run_main
+
+
+def test_flush_speeds_up_delivery():
+    """'the flush merely speeds this up.'"""
+    config = StreamConfig(batch_size=100, max_buffer_delay=20.0)
+    times = {}
+    for flushing in (False, True):
+        system, server, client = build_echo_world(stream_config=config)
+
+        def main(ctx, flushing=flushing):
+            echo = ctx.lookup("server", "echo")
+            promise = echo.stream(1)
+            if flushing:
+                echo.flush()
+            yield promise.claim()
+            return ctx.now
+
+        times[flushing] = run_main(system, client, main)
+    assert times[True] < times[False]
+
+
+def test_synch_waits_for_all_earlier_calls():
+    system, server, client = build_echo_world(echo_cost=0.5)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promises = [echo.stream(index) for index in range(4)]
+        yield echo.synch()
+        # After synch, every earlier call has completed.
+        return all(promise.ready() for promise in promises)
+
+    assert run_main(system, client, main) is True
+
+
+def test_synch_normal_when_all_calls_normal():
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        for index in range(3):
+            echo.stream_statement(index)
+        yield echo.synch()
+        return "ok"
+
+    assert run_main(system, client, main) == "ok"
+
+
+def test_synch_signals_exception_reply_on_any_exception():
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        echo.stream_statement(1)
+        echo.stream_statement(-1)  # will signal
+        echo.stream_statement(2)
+        try:
+            yield echo.synch()
+            return "normal"
+        except ExceptionReply:
+            return "exception_reply"
+
+    assert run_main(system, client, main) == "exception_reply"
+
+
+def test_synch_scope_resets_after_synch():
+    """synch covers calls 'since the last synch or regular RPC'."""
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        echo.stream_statement(-1)
+        try:
+            yield echo.synch()
+        except ExceptionReply:
+            pass
+        # New window: only normal calls since.
+        echo.stream_statement(1)
+        yield echo.synch()
+        return "second synch normal"
+
+    assert run_main(system, client, main) == "second synch normal"
+
+
+def test_rpc_resets_synch_window():
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        echo.stream_statement(-1)  # exceptional
+        try:
+            yield echo.call(5)  # RPC: a synch point
+        except Exception:
+            pass
+        echo.stream_statement(1)
+        yield echo.synch()  # covers only the call after the RPC
+        return "normal"
+
+    assert run_main(system, client, main) == "normal"
+
+
+def test_synch_with_no_calls_is_immediate():
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        yield echo.synch()
+        return ctx.now
+
+    # No calls outstanding: synch returns without waiting for any reply.
+    assert run_main(system, client, main) < 1.0
+
+
+def test_flush_counts_in_stats():
+    system, server, client = build_echo_world()
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promise = echo.stream(1)
+        echo.flush()
+        echo.flush()
+        yield promise.claim()
+        return echo.stream_sender.stats.flushes
+
+    assert run_main(system, client, main) == 2
+
+
+def test_synch_forces_prompt_reply_flush():
+    """synch asks the receiver to flush replies as soon as the covered
+    calls complete, instead of waiting out the reply buffer delay."""
+    config = StreamConfig(batch_size=100, reply_batch_size=100, max_buffer_delay=1.0, reply_max_delay=30.0)
+    system, server, client = build_echo_world(stream_config=config)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        echo.stream_statement(1)
+        yield echo.synch()
+        return ctx.now
+
+    # Without the synch-triggered flush this would take ~30 time units.
+    assert run_main(system, client, main) < 10.0

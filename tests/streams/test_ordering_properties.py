@@ -1,0 +1,148 @@
+"""Property-based tests of the stream guarantees (§2).
+
+Under randomized batch sizes, latencies, handler costs and message loss,
+the transport must always provide: exactly-once execution, execution in
+call order, and in-call-order promise resolution.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Signal
+from repro.entities import ArgusSystem
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+
+def build_world(batch_size, reply_batch_size, latency, loss_rate, seed, handler_cost):
+    config = StreamConfig(
+        batch_size=batch_size,
+        reply_batch_size=reply_batch_size,
+        max_buffer_delay=2.0,
+        reply_max_delay=2.0,
+        rto=max(20.0, latency * 6),
+        max_retries=50,
+    )
+    system = ArgusSystem(
+        latency=latency,
+        kernel_overhead=0.05,
+        loss_rate=loss_rate,
+        seed=seed,
+        stream_config=config,
+    )
+    server = system.create_guardian("server")
+    server.state["log"] = []
+
+    def echo(ctx, x):
+        ctx.guardian.state["log"].append(x)
+        if handler_cost > 0:
+            yield ctx.compute(handler_cost)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+    client = system.create_guardian("client")
+    return system, server, client
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_calls=st.integers(min_value=1, max_value=30),
+    batch_size=st.integers(min_value=1, max_value=16),
+    reply_batch_size=st.integers(min_value=1, max_value=16),
+    latency=st.floats(min_value=0.1, max_value=5.0),
+    loss_rate=st.sampled_from([0.0, 0.0, 0.1, 0.3]),
+    seed=st.integers(min_value=0, max_value=1000),
+    handler_cost=st.sampled_from([0.0, 0.2]),
+)
+def test_exactly_once_in_order_always(
+    n_calls, batch_size, reply_batch_size, latency, loss_rate, seed, handler_cost
+):
+    system, server, client = build_world(
+        batch_size, reply_batch_size, latency, loss_rate, seed, handler_cost
+    )
+    ready_prefix_violations = []
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promises = [echo.stream(index) for index in range(n_calls)]
+        echo.flush()
+        values = []
+        for index, promise in enumerate(promises):
+            value = yield promise.claim()
+            values.append(value)
+            # Invariant: when promise i is ready, every j < i is ready.
+            if not all(p.ready() for p in promises[: index + 1]):
+                ready_prefix_violations.append(index)
+        return values
+
+    process = client.spawn(main)
+    values = system.run(until=process)
+
+    # Exactly-once, in call order, correct results.
+    assert values == list(range(n_calls))
+    assert server.state["log"] == list(range(n_calls))
+    assert ready_prefix_violations == []
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_calls=st.integers(min_value=2, max_value=20),
+    batch_size=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+def test_interleaved_claim_orders_see_same_outcomes(n_calls, batch_size, seed):
+    """Claiming out of order never changes any outcome."""
+    system, server, client = build_world(batch_size, batch_size, 1.0, 0.0, seed, 0.0)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        promises = [echo.stream(index) for index in range(n_calls)]
+        echo.flush()
+        # Claim odd indices first, then everything twice.
+        values = {}
+        for index in range(1, n_calls, 2):
+            values[index] = yield promises[index].claim()
+        for index in range(n_calls):
+            first = yield promises[index].claim()
+            second = yield promises[index].claim()
+            assert first == second
+            if index in values:
+                assert values[index] == first
+            values[index] = first
+        return [values[index] for index in range(n_calls)]
+
+    process = client.spawn(main)
+    assert system.run(until=process) == list(range(n_calls))
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n_calls=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_sequential_rpc_equals_stream_results(n_calls, seed):
+    """'the effect of making a sequence of calls is the same as if the
+    sender waited for the reply to each call before making the next.'"""
+    outcomes = {}
+    for mode in ("rpc", "stream"):
+        system, server, client = build_world(4, 4, 1.0, 0.0, seed, 0.1)
+
+        def main(ctx, mode=mode):
+            echo = ctx.lookup("server", "echo")
+            values = []
+            if mode == "rpc":
+                for index in range(n_calls):
+                    values.append((yield echo.call(index)))
+            else:
+                promises = [echo.stream(index) for index in range(n_calls)]
+                echo.flush()
+                for promise in promises:
+                    values.append((yield promise.claim()))
+            return (values, list(server.state["log"]))
+
+        process = client.spawn(main)
+        outcomes[mode] = system.run(until=process)
+
+    assert outcomes["rpc"] == outcomes["stream"]

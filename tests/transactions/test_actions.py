@@ -1,0 +1,234 @@
+"""Atomic actions and atomic objects (§4.2's all-or-nothing guarantee)."""
+
+import pytest
+
+from repro.core import Signal
+from repro.sim import Interrupt
+from repro.transactions import (
+    Action,
+    ActionAborted,
+    AtomicCell,
+    AtomicMap,
+    run_as_action,
+)
+
+from ..conftest import run_client
+
+
+def test_commit_makes_writes_permanent(system):
+    cell = AtomicCell(system.env, 0)
+
+    def body(ctx):
+        yield cell.write(ctx.action, 42)
+
+    def main(ctx):
+        yield from run_as_action(ctx, body)
+        return cell.peek()
+
+    assert run_client(system, main) == 42
+
+
+def test_abort_undoes_writes(system):
+    cell = AtomicCell(system.env, "original")
+
+    def body(ctx):
+        yield cell.write(ctx.action, "tainted")
+        raise Signal("problem")
+
+    def main(ctx):
+        try:
+            yield from run_as_action(ctx, body)
+        except Signal:
+            pass
+        return cell.peek()
+
+    assert run_client(system, main) == "original"
+
+
+def test_abort_undoes_multiple_writes_in_reverse(system):
+    store = AtomicMap(system.env)
+
+    def body(ctx):
+        yield store.write(ctx.action, "a", 1)
+        yield store.write(ctx.action, "b", 2)
+        raise Signal("stop")
+
+    def main(ctx):
+        try:
+            yield from run_as_action(ctx, body)
+        except Signal:
+            pass
+        return store.snapshot()
+
+    assert run_client(system, main) == {"a": None, "b": None}
+
+
+def test_read_sees_own_writes(system):
+    cell = AtomicCell(system.env, 1)
+
+    def body(ctx):
+        yield cell.write(ctx.action, 2)
+        value = yield cell.read(ctx.action)
+        return value
+
+    def main(ctx):
+        value = yield from run_as_action(ctx, body)
+        return value
+
+    assert run_client(system, main) == 2
+
+
+def test_write_lock_excludes_other_action(system):
+    cell = AtomicCell(system.env, 0)
+    log = []
+
+    def writer(ctx, value, hold):
+        def body(bctx):
+            yield cell.write(bctx.action, value)
+            yield bctx.sleep(hold)
+            log.append((value, bctx.now))
+
+        yield from run_as_action(ctx, body)
+
+    def main(ctx):
+        first = ctx.fork(writer, 1, 5.0)
+        yield ctx.sleep(0.1)
+        second = ctx.fork(writer, 2, 0.0)
+        yield first.claim()
+        yield second.claim()
+        return (log, cell.peek())
+
+    log, final = run_client(system, main)
+    # The second writer waited for the first to commit.
+    assert log[0][0] == 1
+    assert log[1][1] >= 5.0
+    assert final == 2
+
+
+def test_readers_share_writer_excluded(system):
+    cell = AtomicCell(system.env, 7)
+    times = {}
+
+    def reader(ctx, tag):
+        def body(bctx):
+            value = yield cell.read(bctx.action)
+            yield bctx.sleep(2.0)
+            times[tag] = bctx.now
+            return value
+
+        result = yield from run_as_action(ctx, body)
+        return result
+
+    def main(ctx):
+        a = ctx.fork(reader, "r1")
+        b = ctx.fork(reader, "r2")
+        va = yield a.claim()
+        vb = yield b.claim()
+        return (va, vb)
+
+    assert run_client(system, main) == (7, 7)
+    # Readers overlapped (both finished at 2.0).
+    assert times == {"r1": 2.0, "r2": 2.0}
+
+
+def test_abort_releases_locks(system):
+    cell = AtomicCell(system.env, 0)
+
+    def failing(ctx):
+        def body(bctx):
+            yield cell.write(bctx.action, 99)
+            raise Signal("die")
+
+        yield from run_as_action(ctx, body)
+
+    def succeeding(ctx):
+        def body(bctx):
+            yield cell.write(bctx.action, 1)
+
+        yield from run_as_action(ctx, body)
+
+    def main(ctx):
+        p1 = ctx.fork(failing)
+        try:
+            yield p1.claim()
+        except Signal:
+            pass
+        p2 = ctx.fork(succeeding)
+        yield p2.claim()
+        return cell.peek()
+
+    assert run_client(system, main) == 1
+
+
+def test_operations_on_finished_action_rejected(system):
+    cell = AtomicCell(system.env, 0)
+
+    def main(ctx):
+        action = Action(ctx.env)
+        action.commit()
+        with pytest.raises(ActionAborted):
+            cell.write(action, 1)
+        yield ctx.sleep(0)
+
+    run_client(system, main)
+
+
+def test_commit_twice_is_idempotent_abort_after_commit_rejected(system):
+    action = Action(system.env)
+    action.commit()
+    action.commit()
+    with pytest.raises(RuntimeError):
+        action.abort()
+
+
+def test_abort_twice_is_idempotent(system):
+    action = Action(system.env)
+    action.abort()
+    action.abort()
+    assert action.state == "aborted"
+
+
+def test_coenter_atomic_arm_aborts_on_early_termination(system):
+    """§4.2: 'running the recording process as an atomic transaction can
+    ensure that if it is not possible to record all grades, none will be
+    recorded.'"""
+    store = AtomicMap(system.env)
+
+    def recorder(ctx):
+        for index in range(10):
+            yield store.write(ctx.action, index, "grade%d" % index)
+            yield ctx.sleep(1.0)
+
+    def failing(ctx):
+        yield ctx.sleep(3.5)
+        raise Signal("trouble")
+
+    def main(ctx):
+        co = ctx.coenter()
+        co.arm(recorder, atomic=True)
+        co.arm(failing)
+        try:
+            yield co.run()
+            return "normal"
+        except Signal:
+            # The recorder was terminated mid-way; its writes were undone.
+            return store.snapshot()
+
+    snapshot = run_client(system, main)
+    assert all(value is None for value in snapshot.values())
+
+
+def test_coenter_atomic_arm_commits_on_success(system):
+    store = AtomicMap(system.env)
+
+    def recorder(ctx):
+        for index in range(3):
+            yield store.write(ctx.action, index, index * 10)
+
+    def main(ctx):
+        co = ctx.coenter()
+        co.arm(recorder, atomic=True)
+        yield co.run()
+        return store.snapshot()
+
+    assert run_client(system, main) == {0: 0, 1: 10, 2: 20}
