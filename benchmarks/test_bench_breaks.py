@@ -41,6 +41,8 @@ def run_fault(kind, max_retries):
     config = StreamConfig(batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=max_retries)
     system = build_system(config)
     descriptor = system.guardian("server").descriptor("echo")
+    # Create the client first: fault scheduling validates node names eagerly.
+    client = system.create_guardian("client")
     if kind == "partition":
         schedule_partition(system.network, "node:client", "node:server", at=0.0)
     elif kind == "crash":
@@ -56,7 +58,7 @@ def run_fault(kind, max_retries):
         outcome = yield promise.wait()
         return (outcome.condition, ctx.now - FAULT_AT)
 
-    process = system.create_guardian("client").spawn(main)
+    process = client.spawn(main)
     condition, latency = system.run(until=process)
     return condition, latency
 
@@ -67,6 +69,7 @@ def run_fail_fast():
         batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=1, auto_restart=False
     )
     system = build_system(config)
+    client = system.create_guardian("client")
     schedule_partition(system.network, "node:client", "node:server", at=0.0)
 
     def main(ctx):
@@ -81,7 +84,7 @@ def run_fail_fast():
             pass
         return ctx.now - before
 
-    process = system.create_guardian("client").spawn(main)
+    process = client.spawn(main)
     return system.run(until=process)
 
 

@@ -1,0 +1,15 @@
+"""Repository-level pytest configuration.
+
+Makes the ``src/`` layout importable without installation and loads the
+observability fixtures (``traced_env``, ``traced_system``) for both the
+test suite and the benchmarks.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+pytest_plugins = ["repro.obs.testing"]

@@ -10,7 +10,11 @@ Runs the same workload through all four program structures —
 — verifies they print identical output, and compares their costs.
 
 Run:  python examples/grades_pipeline.py
+      python examples/grades_pipeline.py --trace out/   # + Fig 3-1 trace export
 """
+
+import argparse
+import os
 
 from repro.apps import (
     build_grades_world,
@@ -32,7 +36,38 @@ N_STUDENTS = 40
 STEP_COST = 0.3  # client CPU per loop iteration
 
 
+def export_fig31_trace(out_dir: str) -> None:
+    """Re-run Figure 3-1 with tracing on; write a JSONL event trace and a
+    JSON metrics summary under *out_dir*."""
+    roster = make_roster(N_STUDENTS)
+    world = build_grades_world(latency=5.0, kernel_overhead=0.2,
+                               record_cost=0.4, print_cost=0.3, tracing=True)
+
+    def run(ctx):
+        count = yield from program_fig_3_1(ctx, roster, step_cost=STEP_COST)
+        return count
+
+    process = world.client.spawn(run)
+    world.system.run(until=process)
+
+    os.makedirs(out_dir, exist_ok=True)
+    trace_path = os.path.join(out_dir, "fig31.trace.jsonl")
+    summary_path = os.path.join(out_dir, "fig31.summary.json")
+    events = world.system.export_trace(trace_path)
+    report = world.system.tracer.summary_json(summary_path)
+    print("\nFigure 3-1 trace: %d events -> %s" % (events, trace_path))
+    print("Summary -> %s" % summary_path)
+    for key, value in sorted(report["derived"].items()):
+        print("    %-22s %s" % (key, value))
+
+
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="also run Fig 3-1 traced and write JSONL + summary under DIR",
+    )
+    options = parser.parse_args()
     roster = make_roster(N_STUDENTS)
     reference = None
     print("Recording and printing grades for %d students:\n" % N_STUDENTS)
@@ -60,6 +95,9 @@ def main() -> None:
     for line in reference[:3]:
         print("   ", line)
     print("    ...")
+
+    if options.trace:
+        export_fig31_trace(options.trace)
 
 
 if __name__ == "__main__":

@@ -64,10 +64,17 @@ class Promise:
         self.ptype = ptype
         self.label = label
         self.promise_id = next(_promise_ids)
+        #: Simulated time the promise came into existence (call time).
+        self.created_at = env.now
         self._outcome: Optional[Outcome] = None
         self._waiters: List[Event] = []
         #: Number of claim operations performed (used by benchmarks).
         self.claim_count = 0
+        tracer = env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "promise.created", promise_id=self.promise_id, label=label
+            )
 
     def __repr__(self) -> str:
         tag = " %r" % self.label if self.label else ""
@@ -106,6 +113,31 @@ class Promise:
         """
         self.claim_count += 1
         event = Event(self.env)
+        tracer = self.env.tracer
+        if tracer is not None:
+            ready = self._outcome is not None
+            tracer.emit(
+                "promise.claimed", promise_id=self.promise_id, ready=ready
+            )
+            if ready:
+                tracer.emit(
+                    "promise.claim_latency", promise_id=self.promise_id, wait=0.0
+                )
+            else:
+                # The wait ends when the claim event is delivered, which
+                # happens at the promise's resolution time.
+                claimed_at = self.env.now
+
+                def _record_wait(_event: Event) -> None:
+                    active = self.env.tracer
+                    if active is not None:
+                        active.emit(
+                            "promise.claim_latency",
+                            promise_id=self.promise_id,
+                            wait=self.env.now - claimed_at,
+                        )
+
+                event.callbacks.append(_record_wait)
         if self._outcome is not None:
             self._deliver(event, self._outcome)
         else:
@@ -145,6 +177,15 @@ class Promise:
                 "promise %r is already ready; its value never changes" % self
             )
         self._outcome = self._coerce(outcome)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "promise.resolved",
+                promise_id=self.promise_id,
+                status=self._outcome.condition,
+                age=self.env.now - self.created_at,
+                waiters=len(self._waiters),
+            )
         waiters, self._waiters = self._waiters, []
         for waiter in waiters:
             if isinstance(waiter, _OutcomeWaiter):

@@ -130,6 +130,14 @@ class TransportEndpoint:
 
     def _refuse(self, packet: CallPacket, reason: str, permanent: bool = True) -> None:
         """Reply with a break notice instead of accepting the stream."""
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.refused",
+                guardian=self.guardian.name,
+                reason=reason,
+                permanent=permanent,
+            )
         reply = ReplyPacket(
             packet.key,
             packet.incarnation,
@@ -287,10 +295,20 @@ class Guardian:
     # Failure handling
     # ------------------------------------------------------------------
     def _on_node_crash(self, node: Node) -> None:
+        killed = 0
         for process in self._processes:
             if process.is_alive:
                 process.kill("node %s crashed" % node.name)
+                killed += 1
         self._processes = []
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "guardian.crashed",
+                guardian=self.name,
+                node=node.name,
+                processes_killed=killed,
+            )
         # All volatile stream state is lost; peers will detect this as an
         # asynchronous break.
         self.endpoint.forget_streams()
@@ -299,6 +317,9 @@ class Guardian:
         """Remove the guardian permanently; calls will fail with
         ``failure("guardian ... does not exist")``."""
         self.alive = False
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("guardian.destroyed", guardian=self.name)
         for process in self._processes:
             if process.is_alive:
                 process.kill("guardian %s destroyed" % self.name)

@@ -46,8 +46,13 @@ class ArgusSystem:
         seed: int = 0,
         stream_config: Optional[StreamConfig] = None,
         process_spawn_overhead: float = 0.0,
+        tracing: bool = False,
     ) -> None:
         self.env = Environment()
+        if tracing:
+            from repro.obs.trace import Tracer
+
+            Tracer.install(self.env)
         self.rng = RngRegistry(seed)
         self.network = Network(
             self.env,
@@ -109,3 +114,27 @@ class ArgusSystem:
     def stats(self) -> Dict[str, int]:
         """Network-level counters for benchmark reporting."""
         return self.network.stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # Observability (see repro.obs)
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        """The attached :class:`~repro.obs.trace.Tracer`, or None."""
+        return self.env.tracer
+
+    def trace_summary(self) -> Dict[str, Any]:
+        """The tracer's JSON metrics report (requires ``tracing=True``)."""
+        if self.env.tracer is None:
+            raise RuntimeError(
+                "tracing is disabled; construct ArgusSystem(tracing=True)"
+            )
+        return self.env.tracer.summary()
+
+    def export_trace(self, path: str) -> int:
+        """Write the JSONL event trace to *path*; returns the event count."""
+        if self.env.tracer is None:
+            raise RuntimeError(
+                "tracing is disabled; construct ArgusSystem(tracing=True)"
+            )
+        return self.env.tracer.export_jsonl(path)

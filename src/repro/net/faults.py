@@ -8,12 +8,27 @@ exercise break detection and the ``unavailable``/``failure`` mapping.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.net.network import Network
 from repro.sim.kernel import Environment
 
 __all__ = ["FaultPlan", "schedule_crash", "schedule_partition"]
+
+
+def _require_nodes(network: Network, *names: str) -> None:
+    """Validate node names eagerly, so a typo fails at scheduling time
+    instead of surfacing mid-simulation as an opaque KeyError from inside
+    a fault script process."""
+    for name in names:
+        try:
+            network.node(name)
+        except KeyError:
+            raise ValueError(
+                "cannot schedule fault: no node named %r (known: %s)"
+                % (name, ", ".join(sorted(n.name for n in network.nodes())) or "none")
+            ) from None
 
 
 def schedule_crash(
@@ -25,6 +40,7 @@ def schedule_crash(
     """Crash *node_name* at simulated time *at*; optionally recover later."""
     if recover_at is not None and recover_at <= at:
         raise ValueError("recover_at must be after the crash time")
+    _require_nodes(network, node_name)
     env = network.env
 
     def script():
@@ -47,6 +63,7 @@ def schedule_partition(
     """Partition nodes *a* and *b* at time *at*; optionally heal later."""
     if heal_at is not None and heal_at <= at:
         raise ValueError("heal_at must be after the partition time")
+    _require_nodes(network, a, b)
     env = network.env
 
     def script():
@@ -89,7 +106,15 @@ class FaultPlan:
         return self
 
     def apply(self, network: Network) -> None:
-        """Install every scheduled fault onto *network*."""
+        """Install every scheduled fault onto *network*.
+
+        All node names are validated before *any* fault is installed, so a
+        bad plan raises immediately and leaves the network untouched.
+        """
+        for node_name, _, _ in self._crashes:
+            _require_nodes(network, node_name)
+        for a, b, _, _ in self._partitions:
+            _require_nodes(network, a, b)
         for node_name, at, recover_at in self._crashes:
             schedule_crash(network, node_name, at, recover_at)
         for a, b, at, heal_at in self._partitions:
@@ -97,3 +122,39 @@ class FaultPlan:
 
     def __len__(self) -> int:
         return len(self._crashes) + len(self._partitions)
+
+    @classmethod
+    def random(
+        cls,
+        rng: random.Random,
+        nodes: Sequence[str],
+        horizon: float,
+        max_faults: int = 4,
+        crashable: Optional[Sequence[str]] = None,
+        min_outage: float = 1.0,
+        max_outage: float = 15.0,
+    ) -> "FaultPlan":
+        """A seeded random schedule of crashes and partitions.
+
+        Used by the property-style stress tests: pass a seeded
+        ``random.Random`` so identical seeds regenerate identical plans.
+        *crashable* restricts which nodes may crash (e.g. keep the driving
+        client alive so liveness stays assertable); partitions may involve
+        any pair from *nodes*.  Every fault gets a recovery/heal time, with
+        a 25% chance of staying down past the horizon instead — breaks
+        must map to ``unavailable``/``failure`` either way.
+        """
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes to build a fault plan")
+        plan = cls()
+        crash_pool = list(crashable if crashable is not None else nodes)
+        for _ in range(rng.randint(0, max_faults)):
+            at = rng.uniform(0.5, horizon)
+            outage = rng.uniform(min_outage, max_outage)
+            until = None if rng.random() < 0.25 else at + outage
+            if crash_pool and rng.random() < 0.5:
+                plan.crash(rng.choice(crash_pool), at=at, recover_at=until)
+            else:
+                a, b = rng.sample(list(nodes), 2)
+                plan.partition(a, b, at=at, heal_at=until)
+        return plan

@@ -91,6 +91,9 @@ class Node:
         if not self.alive:
             return
         self.alive = False
+        tracer = self.network.env.tracer
+        if tracer is not None:
+            tracer.emit("node.crash", node=self.name, incarnation=self.incarnation)
         for listener in list(self._crash_listeners):
             listener(self)
 
@@ -100,6 +103,9 @@ class Node:
             return
         self.alive = True
         self.incarnation += 1
+        tracer = self.network.env.tracer
+        if tracer is not None:
+            tracer.emit("node.recover", node=self.name, incarnation=self.incarnation)
 
     def _deliver(self, message: Message) -> None:
         handler = self._handlers.get(message.address)
@@ -175,10 +181,16 @@ class Network:
     def partition(self, a: str, b: str) -> None:
         """Sever communication between nodes *a* and *b* (both ways)."""
         self._partitions.add(self._pair(a, b))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("net.partition", a=a, b=b)
 
     def heal(self, a: str, b: str) -> None:
         """Restore communication between nodes *a* and *b*."""
         self._partitions.discard(self._pair(a, b))
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("net.heal", a=a, b=b)
 
     def partitioned(self, a: str, b: str) -> bool:
         """Whether *a* and *b* currently cannot communicate."""
@@ -215,6 +227,16 @@ class Network:
         self.stats.messages_sent += 1
         self.stats.kernel_calls += 1
         self.stats.bytes_sent += message.wire_bytes
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "message.sent",
+                src=message.src,
+                dst=message.dst,
+                address=message.address,
+                bytes=message.wire_bytes,
+                payload=type(message.payload).__name__,
+            )
         busy = self.kernel_overhead + self.transmission_time(message)
         # The sending NIC handles one message at a time: this message's
         # kernel call starts only once earlier ones are done.
@@ -249,15 +271,28 @@ class Network:
     def _should_drop(self, message: Message) -> bool:
         if self.partitioned(message.src, message.dst):
             self.stats.messages_dropped_partition += 1
+            self._trace_drop(message, "partition")
             return True
         if message.dst not in self._nodes:
             self.stats.messages_dropped_crash += 1
+            self._trace_drop(message, "no_such_node")
             return True
         if self.loss_rate > 0.0:
             if self.rng.stream("net.loss").random() < self.loss_rate:
                 self.stats.messages_dropped_loss += 1
+                self._trace_drop(message, "loss")
                 return True
         return False
+
+    def _trace_drop(self, message: Message, reason: str) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "message.dropped",
+                src=message.src,
+                dst=message.dst,
+                reason=reason,
+            )
 
     def _deliver_local(self, message: Message, dst: Node):
         # Same-node messages skip the network: no kernel call, no latency,
@@ -265,6 +300,15 @@ class Network:
         yield self.env.timeout(0.0)
         if dst.alive:
             self.stats.messages_delivered += 1
+            tracer = self.env.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "message.delivered",
+                    src=message.src,
+                    dst=message.dst,
+                    local=True,
+                    latency=self.env.now - message.send_time,
+                )
             dst._deliver(message)
 
     def _deliver_later(self, message: Message, dst: Node, arrival: float):
@@ -273,9 +317,11 @@ class Network:
         # happened while the message was in flight still eats it.
         if self.partitioned(message.src, message.dst):
             self.stats.messages_dropped_partition += 1
+            self._trace_drop(message, "partition")
             return
         if not dst.alive:
             self.stats.messages_dropped_crash += 1
+            self._trace_drop(message, "crash")
             return
         # Receiving kernel call, serialized on the destination NIC.
         self.stats.kernel_calls += 1
@@ -286,6 +332,16 @@ class Network:
             yield self.env.timeout(receive_done - self.env.now)
         if not dst.alive:
             self.stats.messages_dropped_crash += 1
+            self._trace_drop(message, "crash")
             return
         self.stats.messages_delivered += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "message.delivered",
+                src=message.src,
+                dst=message.dst,
+                local=False,
+                latency=self.env.now - message.send_time,
+            )
         dst._deliver(message)

@@ -1,0 +1,12 @@
+"""Observability: structured tracing and metrics for the simulation.
+
+See :mod:`repro.obs.trace` for the tracer (typed events, JSONL export,
+summary report) and :mod:`repro.obs.metrics` for the counter/histogram
+registry.  Tracing is disabled by default and is enabled per run with
+``ArgusSystem(tracing=True)`` or ``Tracer.install(env)``.
+"""
+
+from repro.obs.metrics import Counter, Histogram, Metrics
+from repro.obs.trace import TraceEvent, Tracer
+
+__all__ = ["Counter", "Histogram", "Metrics", "TraceEvent", "Tracer"]

@@ -1,0 +1,48 @@
+"""Pytest fixtures for trace-driven tests.
+
+Loaded as a pytest plugin from the repository's top-level ``conftest.py``,
+so both ``tests/`` and ``benchmarks/`` can write mechanism-level
+assertions::
+
+    def test_exactly_once(traced_system):
+        system = traced_system(latency=1.0)
+        ...
+        assert system.tracer.metrics.total("stream.duplicates") == 0
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import Tracer
+
+__all__ = ["traced_env", "traced_system"]
+
+
+@pytest.fixture
+def traced_env():
+    """A fresh simulation environment with a tracer already attached."""
+    from repro.sim.kernel import Environment
+
+    env = Environment()
+    Tracer.install(env)
+    return env
+
+
+@pytest.fixture
+def traced_system():
+    """Factory for :class:`ArgusSystem` instances with tracing enabled.
+
+    Returns a callable accepting the same keyword arguments as
+    ``ArgusSystem``; deterministic cheap-network defaults match the
+    ``system`` fixture in ``tests/conftest.py``.
+    """
+    from repro.entities.system import ArgusSystem
+
+    def build(**kwargs):
+        kwargs.setdefault("latency", 1.0)
+        kwargs.setdefault("kernel_overhead", 0.1)
+        kwargs.setdefault("tracing", True)
+        return ArgusSystem(**kwargs)
+
+    return build

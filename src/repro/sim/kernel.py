@@ -63,6 +63,10 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
         self._active_process = None
+        #: Attached :class:`~repro.obs.trace.Tracer`, or None (the default:
+        #: tracing disabled).  Every instrumented layer reads this through
+        #: its environment, so one attribute enables tracing everywhere.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -16,12 +16,17 @@ critical-section tracking and "wounding" on top (see
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event
 from repro.sim.kernel import Environment, URGENT
 
 __all__ = ["Process", "Interrupt", "ProcessKilled"]
+
+#: Deterministic process serial numbers, used for tracing (object ids are
+#: not stable across runs).
+_process_ids = itertools.count(1)
 
 
 class Interrupt(Exception):
@@ -71,11 +76,20 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        #: Deterministic serial number (stable across identical runs).
+        self.pid = next(_process_ids)
         #: The event this process is currently waiting on, or None.
         self._target: Optional[Event] = None
         #: Set when the process killed itself (or was killed while
         #: executing); honoured at its next suspension point.
         self._kill_pending: Optional[ProcessKilled] = None
+        tracer = env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "process.created",
+                pid=self.pid,
+                name=getattr(generator, "__name__", str(generator)),
+            )
         _Initialize(env, self)
 
     def __repr__(self) -> str:
@@ -129,6 +143,9 @@ class Process(Event):
             self._target = None
         self._generator.close()
         self.defused = True
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("process.finished", pid=self.pid, status="killed")
         self.fail(ProcessKilled(cause))
 
     # ------------------------------------------------------------------
@@ -137,6 +154,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         """Resume the generator with *event*'s outcome."""
         self.env._active_process = self
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit("process.resumed", pid=self.pid)
         try:
             while True:
                 try:
@@ -151,10 +171,14 @@ class Process(Event):
                         target = self._generator.throw(event.value)
                 except StopIteration as stop:
                     self._target = None
+                    if tracer is not None:
+                        tracer.emit("process.finished", pid=self.pid, status="ok")
                     self.succeed(stop.value)
                     break
                 except BaseException as exc:
                     self._target = None
+                    if tracer is not None:
+                        tracer.emit("process.finished", pid=self.pid, status="error")
                     self.fail(exc)
                     break
 
@@ -164,6 +188,8 @@ class Process(Event):
                     self._generator.close()
                     self._target = None
                     self.defused = True
+                    if tracer is not None:
+                        tracer.emit("process.finished", pid=self.pid, status="killed")
                     self.fail(pending)
                     break
 

@@ -99,6 +99,9 @@ class StreamReceiver:
         self.dispatcher = dispatcher
         self.config = config or StreamConfig()
         self.stats = ReceiverStats()
+        #: Compact stream identity used in trace events and metric labels
+        #: (matches the sending side's label for the same stream).
+        self.trace_label = "%s->%s:%s" % (key.agent_id, key.dst_node, key.group_id)
 
         self.expected_seq = 1
         self.completed_seq = 0
@@ -149,6 +152,14 @@ class StreamReceiver:
                 break
             if entry.seq < self.expected_seq:
                 self.stats.duplicates += 1
+                tracer = self.env.tracer
+                if tracer is not None:
+                    tracer.emit(
+                        "stream.call_duplicate",
+                        stream=self.trace_label,
+                        incarnation=self.incarnation,
+                        seq=entry.seq,
+                    )
                 resend_needed = True
                 continue
             if entry.seq == self.expected_seq:
@@ -196,6 +207,16 @@ class StreamReceiver:
         """Hand one in-order request to the entity layer."""
         self.expected_seq = entry.seq + 1
         self.stats.calls_delivered += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.call_delivered",
+                stream=self.trace_label,
+                incarnation=self.incarnation,
+                seq=entry.seq,
+                port=entry.port_id,
+                kind=entry.kind,
+            )
         self.dispatcher.dispatch(self, entry.seq, entry.port_id, entry.args_bytes, entry.kind)
 
     # ------------------------------------------------------------------
@@ -354,6 +375,16 @@ class StreamReceiver:
         self.stats.reply_packets_sent += 1
         if not entries:
             self.stats.pure_acks_sent += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.reply_packet_sent",
+                stream=self.trace_label,
+                incarnation=self.incarnation,
+                entries=len(entries),
+                ack_call_seq=packet.ack_call_seq,
+                completed_seq=packet.completed_seq,
+            )
         if self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
             self._pending_synch_seq = None
 
@@ -375,6 +406,16 @@ class StreamReceiver:
         if self.broken is not None:
             return
         self.stats.breaks += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.break",
+                stream=self.trace_label,
+                side="receiver",
+                reason=notice.reason,
+                permanent=notice.permanent,
+                synchronous=notice.synchronous,
+            )
         self.broken = notice
         self._out_of_order.clear()
         self.dispatcher.stop(notice.reason)

@@ -98,6 +98,8 @@ class StreamSender:
         self.key = key
         self.config = config or StreamConfig()
         self.stats = SenderStats()
+        #: Compact stream identity used in trace events and metric labels.
+        self.trace_label = "%s->%s:%s" % (key.agent_id, key.dst_node, key.group_id)
         self.incarnation = 0
         #: True when the stream is broken and auto_restart is off.
         self.broken = False
@@ -197,6 +199,16 @@ class StreamSender:
             seq, kind, promise, OutcomeCodec(handler_type), entry
         )
         self._buffer.append(entry)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.call_buffered",
+                stream=self.trace_label,
+                seq=seq,
+                port=port_id,
+                kind=kind,
+                buffered=len(self._buffer),
+            )
         self.stats.calls_made += 1
         if kind == KIND_RPC:
             self.stats.rpcs_made += 1
@@ -357,6 +369,16 @@ class StreamSender:
             return
         self._sent_ack_reply_seq = packet.ack_reply_seq
         self.stats.packets_sent += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.packet_sent",
+                stream=self.trace_label,
+                incarnation=self.incarnation,
+                entries=len(entries),
+                attempt=attempt,
+                flush_replies=flush_replies,
+            )
 
     def _has_unresolved(self) -> bool:
         return self._next_resolve < self._next_seq
@@ -470,6 +492,15 @@ class StreamSender:
             self._reply_ack_alarm.arm_if_idle(self.config.reply_ack_delay)
 
     def _resolve(self, pending: _PendingCall, outcome: Outcome) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.call_resolved",
+                stream=self.trace_label,
+                seq=pending.seq,
+                kind=pending.kind,
+                status=outcome.condition,
+            )
         if outcome.is_exceptional:
             self._exceptional_seqs.add(pending.seq)
         if pending.promise is not None and not pending.promise.ready():
@@ -521,6 +552,16 @@ class StreamSender:
             self._pending or self._unacked or self._buffer
         )
         self.stats.breaks += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.break",
+                stream=self.trace_label,
+                side="sender",
+                reason=reason,
+                permanent=permanent,
+                outstanding=self._had_outstanding_at_break,
+            )
         self._buffer_alarm.cancel()
         self._rto_alarm.cancel()
         self._reply_ack_alarm.cancel()

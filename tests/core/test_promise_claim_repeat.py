@@ -1,0 +1,124 @@
+"""Repeated-claim semantics (paper §3).
+
+"A promise may be claimed multiple times; the same outcome occurs each
+time" — for both the value and the exception cases — and ``ready`` is a
+non-blocking probe that never advances the simulation.
+"""
+
+import pytest
+
+from repro.core import Outcome, Promise, Unavailable
+from repro.core.exceptions import Signal
+
+
+def test_claim_many_times_returns_identical_value(env):
+    promise = Promise(env)
+    promise.resolve_normal(42)
+    values = []
+
+    def claimer():
+        for _ in range(25):
+            value = yield promise.claim()
+            values.append(value)
+
+    env.process(claimer())
+    env.run()
+    assert values == [42] * 25
+    assert promise.claim_count == 25
+
+
+def test_claim_many_times_raises_identical_exception(env):
+    promise = Promise(env)
+    promise.resolve_exceptional(Unavailable("link died"))
+    seen = []
+
+    def claimer():
+        for _ in range(10):
+            try:
+                yield promise.claim()
+            except Unavailable as exc:
+                seen.append((exc.condition, exc.args))
+
+    env.process(claimer())
+    env.run()
+    assert seen == [("unavailable", ("link died",))] * 10
+
+
+def test_claims_before_and_after_resolution_agree(env):
+    """Blocked claims and post-resolution claims deliver the same value."""
+    promise = Promise(env)
+    results = []
+
+    def early(tag):
+        value = yield promise.claim()
+        results.append((tag, env.now, value))
+
+    for index in range(3):
+        env.process(early("early%d" % index))
+
+    def resolver():
+        yield env.timeout(5.0)
+        promise.resolve_normal("answer")
+
+    def late():
+        yield env.timeout(9.0)
+        value = yield promise.claim()
+        results.append(("late", env.now, value))
+
+    env.process(resolver())
+    env.process(late())
+    env.run()
+    assert [entry for entry in results if entry[0].startswith("early")] == [
+        ("early0", 5.0, "answer"),
+        ("early1", 5.0, "answer"),
+        ("early2", 5.0, "answer"),
+    ]
+    assert ("late", 9.0, "answer") in results
+
+
+def test_repeated_claim_of_signal_preserves_arguments(env):
+    promise = Promise(env)
+    promise.resolve(Outcome.signal("not_possible", "because"))
+    caught = []
+
+    def claimer():
+        for _ in range(5):
+            try:
+                yield promise.claim()
+            except Signal as sig:
+                caught.append((sig.condition, sig.exception_args()))
+
+    env.process(claimer())
+    env.run()
+    assert caught == [("not_possible", ("because",))] * 5
+
+
+def test_outcome_object_is_stable_across_claims(env):
+    promise = Promise(env)
+    promise.resolve_normal(7)
+    first = promise.outcome()
+    for _ in range(4):
+        promise.claim()
+    assert promise.outcome() is first
+
+
+def test_ready_never_blocks_or_schedules(env):
+    promise = Promise(env)
+    before = env.queued_event_count()
+    assert promise.ready() is False
+    # No time passed, nothing was scheduled: ready is a pure probe.
+    assert env.now == 0.0
+    assert env.queued_event_count() == before
+    promise.resolve_normal(1)
+    assert promise.ready() is True
+    assert env.queued_event_count() == before
+    assert env.now == 0.0
+
+
+def test_claim_count_tracks_every_claim(env):
+    promise = Promise(env)
+    promise.claim()
+    promise.claim()
+    promise.resolve_normal(0)
+    promise.claim()
+    assert promise.claim_count == 3

@@ -11,16 +11,18 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import random
+
 from repro.core import ArgusError
 from repro.entities import ArgusSystem
-from repro.net import schedule_crash, schedule_partition
+from repro.net import FaultPlan, schedule_crash, schedule_partition
 from repro.streams import StreamConfig
 from repro.types import INT, HandlerType
 
 ECHO = HandlerType(args=[INT], returns=[INT])
 
 
-def build_world(seed, loss_rate, jitter):
+def build_world(seed, loss_rate, jitter, tracing=False):
     config = StreamConfig(
         batch_size=4,
         reply_batch_size=4,
@@ -36,6 +38,7 @@ def build_world(seed, loss_rate, jitter):
         jitter=jitter,
         seed=seed,
         stream_config=config,
+        tracing=tracing,
     )
     server = system.create_guardian("server")
     server.state["executed"] = []
@@ -152,3 +155,88 @@ def test_repeated_partitions_never_wedge_the_stream(seed, n_calls):
     assert successes >= n_calls // 3
     executed = server.state["executed"]
     assert len(executed) == len(set(executed))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    loss_rate=st.sampled_from([0.0, 0.15]),
+    n_calls=st.integers(min_value=3, max_value=20),
+)
+def test_random_fault_plans_traced_invariants(seed, loss_rate, n_calls):
+    """Seeded ``FaultPlan.random`` schedules, checked *through the trace*:
+
+    - delivered calls are exactly-once and in order (seq numbers per
+      stream incarnation are unique and contiguous from 1);
+    - every promise ends ready, resolved ``normal`` or with a break
+      condition (``unavailable``/``failure``) — none is left blocked.
+    """
+    system, server, client = build_world(seed, loss_rate, jitter=0.0, tracing=True)
+    rng = random.Random(seed)
+    # Only the server may crash: the client process must survive to drive
+    # all n_calls to completion, or liveness is unassertable.
+    plan = FaultPlan.random(
+        rng,
+        nodes=["node:client", "node:server"],
+        horizon=40.0,
+        crashable=["node:server"],
+    )
+    plan.apply(system.network)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        outcomes = []
+        for index in range(n_calls):
+            try:
+                promise = echo.stream(index)
+            except ArgusError:
+                outcomes.append("refused")
+                continue
+            echo.flush()
+            try:
+                yield promise.claim()
+                outcomes.append("ok")
+            except ArgusError as exc:
+                outcomes.append(exc.condition)
+        return outcomes
+
+    process = client.spawn(main)
+    outcomes = system.run(until=process)
+    assert len(outcomes) == n_calls
+
+    tracer = system.tracer
+
+    # Exactly-once: each (stream, incarnation, seq) delivered at most once,
+    # and within each incarnation delivery is a contiguous in-order prefix.
+    delivered = [
+        (event.fields["stream"], event.fields["incarnation"], event.fields["seq"])
+        for event in tracer.events_of("stream.call_delivered")
+    ]
+    assert len(delivered) == len(set(delivered)), "duplicate delivery!"
+    per_incarnation = {}
+    for stream, incarnation, seq in delivered:
+        per_incarnation.setdefault((stream, incarnation), []).append(seq)
+    for seqs in per_incarnation.values():
+        assert seqs == list(range(1, len(seqs) + 1)), seqs
+
+    # The trace agrees with the handler's own record of executions.
+    executed = server.state["executed"]
+    assert len(executed) == len(set(executed)), "duplicate execution!"
+    assert len(executed) <= len(delivered)
+
+    # Every created promise resolved, and only with paper-sanctioned
+    # conditions; claimed promises never stay blocked.
+    created = {
+        event.fields["promise_id"]
+        for event in tracer.events_of("promise.created")
+    }
+    resolved = {
+        event.fields["promise_id"]: event.fields["status"]
+        for event in tracer.events_of("promise.resolved")
+    }
+    assert created == set(resolved)
+    assert set(resolved.values()) <= {"normal", "unavailable", "failure"}
+    assert tracer.summary()["derived"]["promises_outstanding"] == 0
+
+    # Metrics and the network's counters tell one story.
+    assert tracer.count("message.sent") == system.stats()["messages_sent"]

@@ -60,6 +60,54 @@ def test_fault_plan_applies_everything(env, network):
     assert not network.partitioned("a", "b")
 
 
+def test_schedule_crash_unknown_node_rejected_eagerly(env, network):
+    with pytest.raises(ValueError, match="no node named 'ghost'"):
+        schedule_crash(network, "ghost", at=5.0)
+    # Nothing was installed: the calendar stays empty.
+    assert env.queued_event_count() == 0
+
+
+def test_schedule_partition_unknown_node_rejected_eagerly(env, network):
+    with pytest.raises(ValueError, match="no node named 'ghost'"):
+        schedule_partition(network, "a", "ghost", at=1.0)
+    assert env.queued_event_count() == 0
+
+
+def test_fault_plan_validates_before_installing_anything(env, network):
+    plan = FaultPlan()
+    plan.crash("b", at=2.0).partition("a", "ghost", at=1.0)
+    with pytest.raises(ValueError, match="ghost"):
+        plan.apply(network)
+    # The valid crash must not have been half-installed.
+    assert env.queued_event_count() == 0
+    env.run()
+    assert network.node("b").alive
+
+
+def test_fault_plan_error_names_known_nodes(env, network):
+    with pytest.raises(ValueError, match="known: a, b"):
+        schedule_crash(network, "nope", at=1.0)
+
+
+def test_random_fault_plan_is_deterministic_and_valid(env, network):
+    import random
+
+    plans = [
+        FaultPlan.random(
+            random.Random(42), ["a", "b"], horizon=30.0, crashable=["b"]
+        )
+        for _ in range(2)
+    ]
+    assert len(plans[0]) == len(plans[1])
+    assert plans[0]._crashes == plans[1]._crashes
+    assert plans[0]._partitions == plans[1]._partitions
+    # Crashes only hit the crashable subset.
+    assert all(name == "b" for name, _, _ in plans[0]._crashes)
+    # The plan applies cleanly and the sim drains.
+    plans[0].apply(network)
+    env.run()
+
+
 def test_crash_kills_inflight_messages(env, network):
     received = []
     network.node("b").register("inbox", lambda m: received.append(m.payload))

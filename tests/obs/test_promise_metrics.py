@@ -1,0 +1,113 @@
+"""Promise lifecycle tracing: creation, resolution, claim latency.
+
+The claim-latency histogram must equal the *simulated* wait of each
+claimer (resolution time minus claim time), and ready claims must record
+a zero wait — the tracer measures the model, not the wall clock.
+"""
+
+from repro.core import Outcome, Promise, Unavailable
+
+
+def test_claim_latency_matches_simulated_wait(traced_env):
+    env = traced_env
+    promise = Promise(env, label="measured")
+
+    def resolver():
+        yield env.timeout(7.0)
+        promise.resolve_normal("value")
+
+    def claimer():
+        yield env.timeout(2.0)
+        yield promise.claim()  # waits 7.0 - 2.0 = 5.0
+        yield env.timeout(3.0)
+        yield promise.claim()  # already ready: waits 0.0
+
+    env.process(resolver())
+    env.process(claimer())
+    env.run()
+
+    waits = [
+        event.fields["wait"]
+        for event in env.tracer.events_of("promise.claim_latency")
+    ]
+    assert waits == [5.0, 0.0]
+    histogram = env.tracer.metrics.merged_histogram("promise.claim_latency")
+    assert histogram.count == 2
+    assert histogram.max == 5.0
+    assert histogram.min == 0.0
+
+
+def test_multiple_blocked_claimers_each_record_their_own_wait(traced_env):
+    env = traced_env
+    promise = Promise(env)
+
+    def claimer(delay):
+        yield env.timeout(delay)
+        yield promise.claim()
+
+    for delay in (1.0, 4.0, 9.0):
+        env.process(claimer(delay))
+
+    def resolver():
+        yield env.timeout(10.0)
+        promise.resolve_normal(True)
+
+    env.process(resolver())
+    env.run()
+    waits = sorted(
+        event.fields["wait"]
+        for event in env.tracer.events_of("promise.claim_latency")
+    )
+    assert waits == [1.0, 6.0, 9.0]
+
+
+def test_promise_creation_and_resolution_counters(traced_env):
+    env = traced_env
+    ok = Promise(env, label="ok")
+    bad = Promise(env, label="bad")
+    pending = Promise(env, label="pending")
+    ok.resolve_normal(1)
+
+    def resolver():
+        yield env.timeout(3.0)
+        bad.resolve(Outcome.exceptional(Unavailable("down")))
+
+    env.process(resolver())
+    env.run()
+
+    metrics = env.tracer.metrics
+    assert metrics.total("promise.created") == 3
+    assert metrics.counter_value("promise.resolved", status="normal") == 1
+    assert metrics.counter_value("promise.resolved", status="unavailable") == 1
+    assert env.tracer.summary()["derived"]["promises_outstanding"] == 1
+
+    # Resolution age is measured in simulated time from creation.
+    ages = {
+        event.fields["promise_id"]: event.fields["age"]
+        for event in env.tracer.events_of("promise.resolved")
+    }
+    assert ages[ok.promise_id] == 0.0
+    assert ages[bad.promise_id] == 3.0
+    assert pending.promise_id not in ages
+
+
+def test_claimed_events_distinguish_ready_claims(traced_env):
+    env = traced_env
+    promise = Promise(env)
+
+    def script():
+        claim = promise.claim()  # blocked claim
+        promise.resolve_normal(5)
+        yield claim
+        yield promise.claim()  # ready claim
+
+    env.process(script())
+    env.run()
+    flags = [
+        event.fields["ready"]
+        for event in env.tracer.events_of("promise.claimed")
+    ]
+    assert flags == [False, True]
+    metrics = env.tracer.metrics
+    assert metrics.counter_value("promise.claims", ready=False) == 1
+    assert metrics.counter_value("promise.claims", ready=True) == 1

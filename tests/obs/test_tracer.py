@@ -1,0 +1,110 @@
+"""Unit tests for the tracer: lifecycle, capture, export, summary."""
+
+import json
+
+from repro.obs import Tracer
+from repro.sim import Environment
+
+
+def test_tracing_is_disabled_by_default():
+    assert Environment().tracer is None
+
+
+def test_argus_system_tracing_flag():
+    from repro.entities import ArgusSystem
+
+    assert ArgusSystem().tracer is None
+    traced = ArgusSystem(tracing=True)
+    assert isinstance(traced.tracer, Tracer)
+    assert traced.tracer is traced.env.tracer
+
+
+def test_install_and_uninstall():
+    env = Environment()
+    tracer = Tracer.install(env)
+    assert env.tracer is tracer
+    tracer.uninstall()
+    assert env.tracer is None
+    # Uninstalling twice (or after replacement) is harmless.
+    other = Tracer.install(env)
+    tracer.uninstall()
+    assert env.tracer is other
+
+
+def test_events_carry_simulated_timestamps(traced_env):
+    env = traced_env
+    tracer = env.tracer
+
+    def script():
+        tracer.emit("custom.start", step=1)
+        yield env.timeout(7.5)
+        tracer.emit("custom.end", step=2)
+
+    env.process(script())
+    env.run()
+    start, end = tracer.events_of("custom.start", "custom.end")
+    assert start.time == 0.0
+    assert end.time == 7.5
+    assert end.fields == {"step": 2}
+
+
+def test_capture_false_keeps_metrics_only():
+    env = Environment()
+    tracer = Tracer.install(env, capture=False)
+    tracer.emit("message.sent", src="a", dst="b", bytes=10, payload="X")
+    assert tracer.events == []
+    assert tracer.metrics.counter_value("net.messages_sent", node="a") == 1
+
+
+def test_export_jsonl_round_trip(traced_env, tmp_path):
+    tracer = traced_env.tracer
+    tracer.emit("message.sent", src="a", dst="b", bytes=42, payload="CallPacket")
+    tracer.emit("custom.weird", obj=object())  # non-JSON value → repr
+    path = tmp_path / "trace.jsonl"
+    written = tracer.export_jsonl(str(path))
+    lines = path.read_text().splitlines()
+    assert written == len(lines) == 2
+    records = [json.loads(line) for line in lines]
+    assert records[0]["type"] == "message.sent"
+    assert records[0]["bytes"] == 42
+    assert records[0]["t"] == 0.0
+    assert "object object" in records[1]["obj"]
+
+
+def test_events_of_and_count(traced_env):
+    tracer = traced_env.tracer
+    tracer.emit("a.one")
+    tracer.emit("b.two")
+    tracer.emit("a.one")
+    assert tracer.count("a.one") == 2
+    assert tracer.count("missing") == 0
+    assert [event.type for event in tracer.events_of("a.one")] == ["a.one", "a.one"]
+    assert len(tracer.events_of("a.one", "b.two")) == 3
+
+
+def test_summary_reports_derived_quantities(traced_env, tmp_path):
+    tracer = traced_env.tracer
+    for seq in range(4):
+        tracer.emit(
+            "stream.call_buffered",
+            stream="s", seq=seq + 1, port="p", kind="stream", buffered=seq + 1,
+        )
+    tracer.emit("message.sent", src="a", dst="b", bytes=100, payload="CallPacket")
+    tracer.emit("message.sent", src="b", dst="a", bytes=50, payload="ReplyPacket")
+    report = tracer.summary()
+    assert report["derived"]["stream_calls"] == 4
+    assert report["derived"]["wire_messages"] == 2
+    assert report["derived"]["messages_per_call"] == 0.5
+    assert report["event_count"] == 6
+    # summary_json writes the same report as parseable JSON.
+    path = tmp_path / "summary.json"
+    tracer.summary_json(str(path))
+    parsed = json.loads(path.read_text())
+    assert parsed["derived"]["messages_per_call"] == 0.5
+
+
+def test_unknown_event_types_are_captured_without_metrics(traced_env):
+    tracer = traced_env.tracer
+    tracer.emit("totally.custom", hello="world")
+    assert tracer.count("totally.custom") == 1
+    assert tracer.metrics.summary() == {"counters": {}, "histograms": {}}
