@@ -9,6 +9,7 @@ representative configuration to pytest-benchmark for wall-clock timing.
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Any, List, Sequence
 
@@ -16,7 +17,12 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def report(experiment: str, title: str, headers: Sequence[str], rows: List[Sequence[Any]]) -> str:
-    """Format, print and persist one experiment's table."""
+    """Format, print and persist one experiment's table.
+
+    Each table is written twice: the human-readable ``<exp>.txt`` and a
+    machine-readable ``<exp>.json`` twin (title, headers, raw rows) for
+    downstream tooling.
+    """
     widths = [len(str(h)) for h in headers]
     formatted_rows = []
     for row in rows:
@@ -44,4 +50,17 @@ def report(experiment: str, title: str, headers: Sequence[str], rows: List[Seque
     path = os.path.join(RESULTS_DIR, "%s.txt" % experiment.lower())
     with open(path, "w") as handle:
         handle.write(text + "\n")
+    json_path = os.path.join(RESULTS_DIR, "%s.json" % experiment.lower())
+    with open(json_path, "w") as handle:
+        json.dump(
+            {
+                "experiment": experiment,
+                "title": title,
+                "headers": list(headers),
+                "rows": [list(row) for row in rows],
+            },
+            handle,
+            indent=2,
+        )
+        handle.write("\n")
     return text

@@ -1,0 +1,9 @@
+"""Wall-clock microbenchmarks for the simulator's hot path.
+
+Unlike the E1-E12 benchmarks (which measure *simulated* time and wire
+traffic to reproduce the paper's claims), these measure *real* wall-clock
+throughput of the simulator itself: events/sec through the bare kernel,
+messages/sec through the network layer, and end-to-end stream calls/sec.
+``run_bench.py`` writes the machine-readable ``BENCH_PR2.json`` trajectory
+file at the repository root.
+"""

@@ -1,0 +1,118 @@
+"""The three hot-path workloads measured by ``run_bench.py``.
+
+Each workload is a plain function ``(n) -> units`` that builds a fresh
+world, drives ``n`` units of simulated work to completion and returns the
+unit count actually performed (so the caller can turn wall-clock seconds
+into a units/sec rate and sanity-check the run did what it claims).
+
+The "before" numbers in ``baseline_pr2.json`` were recorded by running
+these same workloads against the unoptimized tree, so fresh runs are
+directly comparable to the committed baseline.
+"""
+
+from __future__ import annotations
+
+from repro.entities import ArgusSystem
+from repro.net.message import Message
+from repro.net.network import Network
+from repro.sim.kernel import Environment
+from repro.streams import StreamConfig
+from repro.types import INT, HandlerType
+
+__all__ = ["kernel_events", "network_messages", "stream_calls", "WORKLOADS"]
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+# E1 world parameters (benchmarks/test_bench_stream_vs_rpc.py).
+LATENCY = 5.0
+KERNEL_OVERHEAD = 0.5
+HANDLER_COST = 0.05
+
+
+def kernel_events(n: int) -> int:
+    """Events/sec through the bare kernel: schedule and fire *n* timers.
+
+    Spreads deadlines over a window so the heap sees realistic churn
+    (push/pop interleaving) rather than one monotone drain.
+    """
+    env = Environment()
+    fired = []
+    append = fired.append
+
+    def record(event) -> None:
+        append(event)
+
+    for index in range(n):
+        timer = env.timeout((index % 97) * 0.25)
+        timer.callbacks.append(record)
+    env.run()
+    assert len(fired) == n
+    return n
+
+
+def network_messages(n: int) -> int:
+    """Messages/sec through :class:`Network`: *n* remote datagrams a->b."""
+    env = Environment()
+    network = Network(env, latency=1.0, kernel_overhead=0.1)
+    network.add_node("a")
+    receiver = network.add_node("b")
+    delivered = []
+    receiver.register("inbox", delivered.append)
+    for index in range(n):
+        network.send(Message("a", "b", "inbox", index, 32))
+    env.run()
+    assert len(delivered) == n
+    return n
+
+
+def stream_calls(n: int) -> int:
+    """End-to-end stream calls/sec for the E1 stream-vs-RPC scenario.
+
+    A client streams *n* echo calls (batch size 16), flushes, and claims
+    every promise — the full sender/network/receiver/dispatch/reply path.
+    """
+    # rto is effectively infinite: the client buffers every call up front,
+    # so at large n the first ack legitimately takes longer than any
+    # realistic retransmission budget; retries would only distort the
+    # wall-clock measurement with extra (simulated-lost) traffic.
+    config = StreamConfig(
+        batch_size=16,
+        reply_batch_size=16,
+        max_buffer_delay=2.0,
+        reply_max_delay=2.0,
+        rto=1e9,
+    )
+    system = ArgusSystem(
+        latency=LATENCY, kernel_overhead=KERNEL_OVERHEAD, stream_config=config
+    )
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(HANDLER_COST)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+
+    def main(ctx):
+        ref = ctx.lookup("server", "echo")
+        promises = [ref.stream(index) for index in range(n)]
+        ref.flush()
+        total = 0
+        for promise in promises:
+            total += yield promise.claim()
+        return total, ref.stream_sender.stats.snapshot()
+
+    process = system.create_guardian("client").spawn(main)
+    total, sender_stats = system.run(until=process)
+    assert total == n * (n - 1) // 2
+    assert sender_stats["calls_made"] == n
+    assert sender_stats["breaks"] == 0
+    return n
+
+
+#: name -> (workload, full-run n, --quick n)
+WORKLOADS = {
+    "kernel_events": (kernel_events, 200_000, 20_000),
+    "network_messages": (network_messages, 20_000, 2_000),
+    "stream_calls": (stream_calls, 20_000, 2_000),
+}

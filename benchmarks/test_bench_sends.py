@@ -47,8 +47,7 @@ def run_calls(handler_name, n_calls):
         for index in range(n_calls):
             ref.stream_statement(index)
         yield ref.synch()
-        sender = ref.stream_sender
-        return sender.stats.sends_made
+        return ref.stream_sender.stats.snapshot()["sends_made"]
 
     process = system.create_guardian("client").spawn(main)
     sends = system.run(until=process)

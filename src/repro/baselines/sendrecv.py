@@ -69,14 +69,16 @@ class Mailbox:
         """Fire one datagram; the sender 'need wait only until the message
         is produced'."""
         self.network.send(
-            Message(self.node.name, dst_node, dst_address, payload, size)
+            Message(self.node.name, dst_node, dst_address, payload, size),
+            want_done=False,
         )
 
     def send_batch(self, dst_node: str, dst_address: str, batch: DatagramBatch) -> None:
         """Manually batched send (how send/receive programs get
         stream-like throughput)."""
         self.network.send(
-            Message(self.node.name, dst_node, dst_address, batch, batch.size)
+            Message(self.node.name, dst_node, dst_address, batch, batch.size),
+            want_done=False,
         )
 
     def receive(self) -> Event:

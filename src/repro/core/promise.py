@@ -18,7 +18,6 @@ needed (benchmark E7 measures exactly this difference).
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Callable, List, Optional
 
 from repro.core.exceptions import (
@@ -39,8 +38,6 @@ __all__ = ["Promise", "BLOCKED", "READY"]
 #: State constants (the paper's two promise states).
 BLOCKED = "blocked"
 READY = "ready"
-
-_promise_ids = itertools.count(1)
 
 
 class Promise:
@@ -63,7 +60,7 @@ class Promise:
         self.env = env
         self.ptype = ptype
         self.label = label
-        self.promise_id = next(_promise_ids)
+        self.promise_id = env.new_serial("promise")
         #: Simulated time the promise came into existence (call time).
         self.created_at = env.now
         self._outcome: Optional[Outcome] = None

@@ -36,8 +36,25 @@ _TAG_FAILURE = 3
 class ArgsCodec:
     """Encode/decode a handler call's argument tuple."""
 
+    __slots__ = ("handler_type",)
+
     def __init__(self, handler_type: HandlerType) -> None:
         self.handler_type = handler_type
+
+    @classmethod
+    def for_type(cls, handler_type: HandlerType) -> "ArgsCodec":
+        """The shared codec for *handler_type*, memoized on the type itself.
+
+        Codecs are stateless w.r.t. the calls they encode, so one instance
+        per handler type serves every call site (sender, receiver,
+        dispatcher) instead of a fresh allocation per call.
+        """
+        try:
+            return handler_type._args_codec
+        except AttributeError:
+            codec = cls(handler_type)
+            handler_type._args_codec = codec
+            return codec
 
     def encode(self, args: Sequence[Any]) -> bytes:
         """Encode the argument tuple to its external representation."""
@@ -51,8 +68,20 @@ class ArgsCodec:
 class OutcomeCodec:
     """Encode/decode a call :class:`~repro.core.outcome.Outcome`."""
 
+    __slots__ = ("handler_type",)
+
     def __init__(self, handler_type: HandlerType) -> None:
         self.handler_type = handler_type
+
+    @classmethod
+    def for_type(cls, handler_type: HandlerType) -> "OutcomeCodec":
+        """The shared codec for *handler_type* (see ArgsCodec.for_type)."""
+        try:
+            return handler_type._outcome_codec
+        except AttributeError:
+            codec = cls(handler_type)
+            handler_type._outcome_codec = codec
+            return codec
 
     def encode(self, outcome: Outcome) -> bytes:
         """Encode an outcome per the tagged wire format above."""

@@ -15,6 +15,9 @@ import itertools
 
 __all__ = ["Agent"]
 
+#: Fallback for agents minted without an environment (direct construction
+#: in tests); guardians pass per-environment serials instead so that agent
+#: ids — which appear in stream trace labels — are trace-deterministic.
 _agent_serial = itertools.count(1)
 
 
@@ -23,8 +26,9 @@ class Agent:
 
     __slots__ = ("agent_id", "guardian_name")
 
-    def __init__(self, guardian_name: str, label: str = "") -> None:
-        serial = next(_agent_serial)
+    def __init__(self, guardian_name: str, label: str = "", serial: int = 0) -> None:
+        if serial <= 0:
+            serial = next(_agent_serial)
         suffix = label or "a%d" % serial
         self.guardian_name = guardian_name
         self.agent_id = "%s/%s#%d" % (guardian_name, suffix, serial)

@@ -113,7 +113,7 @@ class GroupDispatcher(CallDispatcher):
                 receiver.fail_call(seq, "handler does not exist: %s" % port_id, kind)
                 continue
             try:
-                args = ArgsCodec(port.handler_type).decode(args_bytes)
+                args = ArgsCodec.for_type(port.handler_type).decode(args_bytes)
             except DecodeError as exc:
                 # Fails this call and breaks the stream synchronously;
                 # everything before it has already completed.
@@ -139,7 +139,9 @@ class GroupDispatcher(CallDispatcher):
                 outcome = normalize_result(port.handler_type, result)
             finally_running = [p for p in self._running if p.is_alive]
             self._running = finally_running
-            receiver.post_outcome(seq, outcome, kind, OutcomeCodec(port.handler_type))
+            receiver.post_outcome(
+                seq, outcome, kind, OutcomeCodec.for_type(port.handler_type)
+            )
 
     # ------------------------------------------------------------------
     # Parallel driver (the §2.1 override)
@@ -158,7 +160,7 @@ class GroupDispatcher(CallDispatcher):
                 receiver.fail_call(seq, "handler does not exist: %s" % port_id, kind)
                 continue
             try:
-                args = ArgsCodec(port.handler_type).decode(args_bytes)
+                args = ArgsCodec.for_type(port.handler_type).decode(args_bytes)
             except DecodeError as exc:
                 receiver.decode_failure(seq, kind, exc)
                 continue
@@ -186,7 +188,9 @@ class GroupDispatcher(CallDispatcher):
                     return  # guardian crashed; no reply will be sent
                 else:
                     outcome = Outcome.failure("handler crashed: %r" % (exc,))
-            receiver.post_outcome(seq, outcome, kind, OutcomeCodec(port.handler_type))
+            receiver.post_outcome(
+                seq, outcome, kind, OutcomeCodec.for_type(port.handler_type)
+            )
 
         if process.triggered:
             complete(process)

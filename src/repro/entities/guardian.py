@@ -156,7 +156,7 @@ class TransportEndpoint:
             reply.size,
         )
         try:
-            self.network.send(message)
+            self.network.send(message, want_done=False)
         except NodeDown:
             pass
 
@@ -260,7 +260,7 @@ class Guardian:
     # ------------------------------------------------------------------
     def new_agent(self, label: str = "") -> Agent:
         """Mint a fresh agent (a new sending end for streams)."""
-        return Agent(self.name, label)
+        return Agent(self.name, label, self.env.new_serial("agent"))
 
     def new_context(self, label: str = "") -> ActivityContext:
         """A fresh activity context bound to a fresh agent."""

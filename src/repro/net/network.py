@@ -94,6 +94,10 @@ class Node:
         tracer = self.network.env.tracer
         if tracer is not None:
             tracer.emit("node.crash", node=self.name, incarnation=self.incarnation)
+        # A crashed NIC loses its queue: the node's pre-crash send/receive
+        # backlog and link FIFO history must not constrain the traffic of
+        # its next incarnation.
+        self.network._forget_node_clocks(self.name)
         for listener in list(self._crash_listeners):
             listener(self)
 
@@ -205,29 +209,37 @@ class Network:
             return 0.0
         return message.wire_bytes / self.bandwidth
 
-    def send(self, message: Message) -> Event:
+    def send(self, message: Message, want_done: bool = True) -> Optional[Event]:
         """Transmit *message*; returns the event of the sender's CPU being
         free again (after kernel overhead + transmission time).
 
         Local sends (src == dst) skip the network entirely: no kernel call,
         no latency — mirroring how Argus optimizes same-guardian calls.
+
+        Callers that do not wait for the CPU-free moment (the stream
+        transport fires and forgets) pass ``want_done=False`` and get
+        ``None`` back: no Event object is built for a result nobody reads.
         """
         src = self.node(message.src)
         if not src.alive:
             raise NodeDown("cannot send from crashed node %r" % (message.src,))
-        message.send_time = self.env.now
+        env = self.env
+        message.send_time = env.now
 
         if message.src == message.dst:
-            done = Event(self.env)
-            done.succeed()
             dst = self.node(message.dst)
-            self.env.process(self._deliver_local(message, dst))
+            done = None
+            if want_done:
+                done = Event(env)
+                done.succeed()
+            # Delivered on the next simulation tick, no generator frame.
+            env.call_soon(self._finish_local, message, dst)
             return done
 
         self.stats.messages_sent += 1
         self.stats.kernel_calls += 1
         self.stats.bytes_sent += message.wire_bytes
-        tracer = self.env.tracer
+        tracer = env.tracer
         if tracer is not None:
             tracer.emit(
                 "message.sent",
@@ -240,7 +252,7 @@ class Network:
         busy = self.kernel_overhead + self.transmission_time(message)
         # The sending NIC handles one message at a time: this message's
         # kernel call starts only once earlier ones are done.
-        send_start = max(self.env.now, self._nic_free.get(message.src, 0.0))
+        send_start = max(env.now, self._nic_free.get(message.src, 0.0))
         send_done = send_start + busy
         self._nic_free[message.src] = send_done
 
@@ -258,14 +270,16 @@ class Network:
             if dst is not None:
                 # The receiving side pays a kernel call too, serialized on
                 # its own NIC — but only after the message has arrived.
-                self.env.process(self._deliver_later(message, dst, arrival))
+                env.call_at(arrival, self._arrive, message, dst)
 
-        done = Event(self.env)
-        if send_done > self.env.now:
-            timer = self.env.timeout(send_done - self.env.now)
-            timer.callbacks.append(lambda _e: done.succeed())
-        else:
-            done.succeed()
+        if not want_done:
+            return None
+        # Pre-triggered and scheduled directly at send_done — exactly a
+        # Timeout's semantics without the Timeout + closure + re-schedule.
+        done = Event(env)
+        done._ok = True
+        done._value = None
+        env.schedule(done, send_done - env.now)
         return done
 
     def _should_drop(self, message: Message) -> bool:
@@ -294,10 +308,13 @@ class Network:
                 reason=reason,
             )
 
-    def _deliver_local(self, message: Message, dst: Node):
+    # ------------------------------------------------------------------
+    # Delivery (scheduled callbacks — no generator processes; see
+    # benchmarks/perf and DESIGN.md §8)
+    # ------------------------------------------------------------------
+    def _finish_local(self, message: Message, dst: Node) -> None:
         # Same-node messages skip the network: no kernel call, no latency,
         # delivered on the next simulation tick.
-        yield self.env.timeout(0.0)
         if dst.alive:
             self.stats.messages_delivered += 1
             tracer = self.env.tracer
@@ -311,8 +328,7 @@ class Network:
                 )
             dst._deliver(message)
 
-    def _deliver_later(self, message: Message, dst: Node, arrival: float):
-        yield self.env.timeout(max(0.0, arrival - self.env.now))
+    def _arrive(self, message: Message, dst: Node) -> None:
         # Re-check conditions at arrival time: a partition or crash that
         # happened while the message was in flight still eats it.
         if self.partitioned(message.src, message.dst):
@@ -325,11 +341,16 @@ class Network:
             return
         # Receiving kernel call, serialized on the destination NIC.
         self.stats.kernel_calls += 1
-        receive_start = max(self.env.now, self._nic_free.get(dst.name, 0.0))
+        now = self.env.now
+        receive_start = max(now, self._nic_free.get(dst.name, 0.0))
         receive_done = receive_start + self.kernel_overhead
         self._nic_free[dst.name] = receive_done
-        if receive_done > self.env.now:
-            yield self.env.timeout(receive_done - self.env.now)
+        if receive_done > now:
+            self.env.call_at(receive_done, self._finish_remote, message, dst)
+        else:
+            self._finish_remote(message, dst)
+
+    def _finish_remote(self, message: Message, dst: Node) -> None:
         if not dst.alive:
             self.stats.messages_dropped_crash += 1
             self._trace_drop(message, "crash")
@@ -345,3 +366,9 @@ class Network:
                 latency=self.env.now - message.send_time,
             )
         dst._deliver(message)
+
+    def _forget_node_clocks(self, name: str) -> None:
+        """Drop *name*'s NIC backlog and link FIFO clocks (node crashed)."""
+        self._nic_free.pop(name, None)
+        for link in [link for link in self._link_clock if name in link]:
+            del self._link_clock[link]

@@ -4,6 +4,16 @@ Timer-driven behaviour (buffer flush deadlines, retransmission timeouts,
 acknowledgement delays) needs a primitive that can be armed, re-armed and
 cancelled cheaply without leaking processes.  ``Alarm`` wraps the pattern:
 one alarm object, at most one pending callback, cancel/re-arm at will.
+
+Cancellation and re-arming are *lazy*: the alarm never removes anything
+from the calendar (heap deletion is O(n)); a stale timer that fires simply
+notices the deadline moved or vanished.  Unlike the naive one-timer-per-arm
+scheme, though, re-arming reuses a pending timer whenever that timer fires
+at or before the new deadline — so a hot alarm that is re-armed on every
+packet (the RTO pattern) keeps a single calendar entry instead of piling up
+one dead Timeout + closure per packet.  Timers go through the kernel's bare
+callback lane (:meth:`~repro.sim.kernel.Environment.call_at`), so no Event
+objects are allocated at all.
 """
 
 from __future__ import annotations
@@ -18,11 +28,17 @@ __all__ = ["Alarm"]
 class Alarm:
     """A re-armable one-shot timer firing a callback at a deadline."""
 
+    __slots__ = ("env", "_callback", "_deadline", "_next_fire")
+
     def __init__(self, env: Environment, callback: Callable[[], None]) -> None:
         self.env = env
         self._callback = callback
-        self._generation = 0
+        #: When the callback should run, or None when disarmed.
         self._deadline: Optional[float] = None
+        #: Earliest pending calendar timer known to cover the deadline, or
+        #: None if no timer is known to be pending.  Invariant: whenever
+        #: ``_deadline`` is set, some pending timer fires at or before it.
+        self._next_fire: Optional[float] = None
 
     @property
     def armed(self) -> bool:
@@ -37,18 +53,11 @@ class Alarm:
         earlier deadline."""
         if delay < 0:
             raise ValueError("alarm delay must be >= 0, got %r" % (delay,))
-        self._generation += 1
-        self._deadline = self.env.now + delay
-        generation = self._generation
-        timer = self.env.timeout(delay)
-
-        def fire(_event) -> None:
-            if generation != self._generation:
-                return  # cancelled or re-armed since
-            self._deadline = None
-            self._callback()
-
-        timer.callbacks.append(fire)
+        deadline = self.env.now + delay
+        self._deadline = deadline
+        if self._next_fire is None or self._next_fire > deadline:
+            self._next_fire = deadline
+            self.env.call_at(deadline, self._on_timer)
 
     def arm_if_idle(self, delay: float) -> None:
         """Arm only if no deadline is currently pending."""
@@ -56,6 +65,20 @@ class Alarm:
             self.arm(delay)
 
     def cancel(self) -> None:
-        """Cancel any pending deadline."""
-        self._generation += 1
+        """Cancel any pending deadline (lazy: the timer stays queued and
+        no-ops when it fires)."""
         self._deadline = None
+
+    def _on_timer(self) -> None:
+        self._next_fire = None
+        deadline = self._deadline
+        if deadline is None:
+            return  # cancelled since this timer was scheduled
+        if deadline > self.env.now:
+            # Re-armed to a later deadline: this timer covers it by
+            # rescheduling once, instead of one timer per arm().
+            self._next_fire = deadline
+            self.env.call_at(deadline, self._on_timer)
+            return
+        self._deadline = None
+        self._callback()

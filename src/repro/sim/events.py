@@ -28,6 +28,8 @@ _PENDING = object()
 class Event:
     """A one-shot occurrence that processes can wait for."""
 
+    __slots__ = ("env", "callbacks", "_value", "_ok", "defused")
+
     def __init__(self, env: Environment) -> None:
         self.env = env
         #: List of callables invoked (with the event) when the event fires,
@@ -129,6 +131,8 @@ class Event:
 class Timeout(Event):
     """An event that fires automatically after a fixed delay."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: Environment, delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError("negative timeout delay: %r" % (delay,))
@@ -148,6 +152,8 @@ class Timeout(Event):
 
 class ConditionValue:
     """Ordered mapping from events to outcomes, produced by conditions."""
+
+    __slots__ = ("events",)
 
     def __init__(self) -> None:
         self.events: List[Event] = []
@@ -179,6 +185,8 @@ class Condition(Event):
 
     A failed sub-event fails the whole condition immediately.
     """
+
+    __slots__ = ("_evaluate", "_events", "_count")
 
     def __init__(
         self,
@@ -234,12 +242,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition satisfied once every sub-event has fired."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, lambda evts, count: count == len(evts), events)
 
 
 class AnyOf(Condition):
     """Condition satisfied once any sub-event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, lambda evts, count: count >= 1, events)

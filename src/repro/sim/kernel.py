@@ -27,6 +27,9 @@ __all__ = [
     "NORMAL",
 ]
 
+#: Sentinel for "no arguments" so every no-arg callback shares one tuple.
+_NO_ARGS: Tuple = ()
+
 #: Scheduling priority for events that must fire before ordinary events at
 #: the same timestamp (e.g. process resumption after an interrupt).
 URGENT = 0
@@ -36,6 +39,28 @@ NORMAL = 1
 
 #: A time later than any other; used as the default run-until bound.
 Infinity = float("inf")
+
+
+class _Callback:
+    """A bare calendar entry that invokes a function when it fires.
+
+    The fast lane for timers that only need to run a callable: no Event
+    object, no callbacks list, no triggered/processed state — one small
+    slotted object on the heap.  Used by the network delivery path and by
+    :class:`~repro.sim.alarm.Alarm`.
+    """
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., None], args: Tuple) -> None:
+        self.fn = fn
+        self.args = args
+
+    def _fire(self, env: "Environment") -> None:
+        self.fn(*self.args)
+
+    def __repr__(self) -> str:
+        return "<_Callback %r at 0x%x>" % (self.fn, id(self))
 
 
 class EmptySchedule(Exception):
@@ -63,6 +88,13 @@ class Environment:
         self._queue: List[Tuple[float, int, int, Any]] = []
         self._seq = 0
         self._active_process = None
+        #: Per-environment process serial numbers: deterministic both
+        #: across runs *and* across environments in one interpreter, so
+        #: golden-trace tests can compare full traces of two worlds.
+        self._next_pid = 0
+        #: Other per-environment serial families (promises, agents, ...),
+        #: kept per-environment for the same golden-trace reason.
+        self._serials: dict = {}
         #: Attached :class:`~repro.obs.trace.Tracer`, or None (the default:
         #: tracing disabled).  Every instrumented layer reads this through
         #: its environment, so one attribute enables tracing everywhere.
@@ -80,6 +112,23 @@ class Environment:
     def active_process(self):
         """The :class:`~repro.sim.process.Process` currently executing."""
         return self._active_process
+
+    def new_pid(self) -> int:
+        """Next deterministic process serial number for this environment."""
+        self._next_pid += 1
+        return self._next_pid
+
+    def new_serial(self, kind: str) -> int:
+        """Next serial in the per-environment counter family *kind*.
+
+        Trace-visible identifiers (promise ids, agent serials) must come
+        from here rather than module-level counters, so that two worlds
+        built in the same interpreter produce identical traces.
+        """
+        serials = self._serials
+        value = serials.get(kind, 0) + 1
+        serials[kind] = value
+        return value
 
     def peek(self) -> float:
         """Time of the next scheduled event, or :data:`Infinity` if none."""
@@ -104,6 +153,59 @@ class Environment:
             raise ValueError("cannot schedule an event in the past (delay=%r)" % delay)
         self._seq += 1
         heapq.heappush(self._queue, (self._now + delay, priority, self._seq, event))
+
+    # ------------------------------------------------------------------
+    # Fast callback lane
+    # ------------------------------------------------------------------
+    # Timers that only need to invoke a function do not need an Event: no
+    # callbacks list, no outcome, nothing to wait on.  These entry points
+    # put a bare slotted _Callback on the calendar instead, which is the
+    # difference between one small allocation and an Event + Timeout +
+    # closure (or a whole generator Process) per occurrence.
+
+    def call_at(
+        self,
+        when: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``fn(*args)`` at absolute simulated time *when*."""
+        if when < self._now:
+            raise ValueError(
+                "cannot schedule a callback in the past (when=%r, now=%r)"
+                % (when, self._now)
+            )
+        self._seq += 1
+        heapq.heappush(
+            self._queue, (when, priority, self._seq, _Callback(fn, args or _NO_ARGS))
+        )
+
+    def call_in(
+        self,
+        delay: float,
+        fn: Callable[..., None],
+        *args: Any,
+        priority: int = NORMAL,
+    ) -> None:
+        """Run ``fn(*args)`` *delay* time units from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule a callback in the past (delay=%r)" % delay)
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, priority, self._seq, _Callback(fn, args or _NO_ARGS)),
+        )
+
+    def call_soon(
+        self, fn: Callable[..., None], *args: Any, priority: int = NORMAL
+    ) -> None:
+        """Run ``fn(*args)`` at the current time, after pending events."""
+        self._seq += 1
+        heapq.heappush(
+            self._queue,
+            (self._now, priority, self._seq, _Callback(fn, args or _NO_ARGS)),
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -142,18 +244,20 @@ class Environment:
                     "until (%r) must not be earlier than now (%r)" % (limit, self._now)
                 )
 
+        # Inlined event loop: one heappop + _fire per event, no per-event
+        # method call or exception handling (this is the hottest loop in
+        # the whole simulator; see benchmarks/perf).
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while True:
-                if not self._queue:
-                    break
-                if self._queue[0][0] > limit:
+            while queue:
+                if queue[0][0] > limit:
                     self._now = limit
                     break
-                self.step()
+                self._now, _, _, event = pop(queue)
+                event._fire(self)
         except StopSimulation as stop:
             return stop.value
-        except EmptySchedule:
-            pass
 
         if stop_event is not None:
             raise RuntimeError(

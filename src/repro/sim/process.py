@@ -16,17 +16,12 @@ critical-section tracking and "wounding" on top (see
 
 from __future__ import annotations
 
-import itertools
 from typing import Any, Generator, Optional
 
 from repro.sim.events import Event
 from repro.sim.kernel import Environment, URGENT
 
 __all__ = ["Process", "Interrupt", "ProcessKilled"]
-
-#: Deterministic process serial numbers, used for tracing (object ids are
-#: not stable across runs).
-_process_ids = itertools.count(1)
 
 
 class Interrupt(Exception):
@@ -57,6 +52,8 @@ class ProcessKilled(Exception):
 class _Initialize(Event):
     """Internal event used to start a freshly created process."""
 
+    __slots__ = ()
+
     def __init__(self, env: Environment, process: "Process") -> None:
         super().__init__(env)
         self._ok = True
@@ -68,6 +65,18 @@ class _Initialize(Event):
 class Process(Event):
     """A running simulated process; also an event for its own completion."""
 
+    # _critical_depth and _wound_cause belong to the critical-section layer
+    # (repro.concurrency.critical) which annotates processes; they are
+    # declared here so Process stays fully slotted.
+    __slots__ = (
+        "_generator",
+        "pid",
+        "_target",
+        "_kill_pending",
+        "_critical_depth",
+        "_wound_cause",
+    )
+
     def __init__(self, env: Environment, generator: Generator) -> None:
         if not hasattr(generator, "throw"):
             raise TypeError(
@@ -76,8 +85,10 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
-        #: Deterministic serial number (stable across identical runs).
-        self.pid = next(_process_ids)
+        #: Deterministic serial number (stable across identical runs, and
+        #: across environments within one interpreter — the counter is
+        #: per-environment).
+        self.pid = env.new_pid()
         #: The event this process is currently waiting on, or None.
         self._target: Optional[Event] = None
         #: Set when the process killed itself (or was killed while
@@ -216,6 +227,8 @@ class Process(Event):
 
 class _Interruption(Event):
     """Carrier event that delivers an :class:`Interrupt` into a process."""
+
+    __slots__ = ("_process",)
 
     def __init__(self, process: Process, cause: Any) -> None:
         super().__init__(process.env)

@@ -18,6 +18,12 @@ from repro.sim.kernel import Environment
 __all__ = ["Semaphore", "Lock", "ConditionVariable", "BlockingQueue", "QueueClosed"]
 
 
+class _PutEvent(Event):
+    """A blocked put: the event plus the item awaiting queue space."""
+
+    __slots__ = ("_pending_item",)
+
+
 class Semaphore:
     """Counting semaphore (Dijkstra's P/V) for simulated processes."""
 
@@ -242,7 +248,7 @@ class BlockingQueue:
 
     def put(self, item: Any) -> Event:
         """Enqueue *item*; blocks only when a capacity is set and reached."""
-        event = Event(self.env)
+        event = _PutEvent(self.env)
         if self._closed is not None:
             event.fail(self._closed)
             return event
@@ -254,7 +260,7 @@ class BlockingQueue:
                 return event
         if self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.append(event)
-            event._pending_item = item  # type: ignore[attr-defined]
+            event._pending_item = item
             return event
         self._items.append(item)
         event.succeed()
@@ -315,6 +321,6 @@ class BlockingQueue:
         while self._putters:
             putter = self._putters.popleft()
             if not putter.triggered:
-                self._items.append(putter._pending_item)  # type: ignore[attr-defined]
+                self._items.append(putter._pending_item)
                 putter.succeed()
                 return

@@ -79,6 +79,10 @@ class ReceiverStats:
         self.pure_acks_sent = 0
         self.breaks = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
 
 class StreamReceiver:
     """Receiving end of one stream incarnation."""
@@ -263,7 +267,7 @@ class StreamReceiver:
             # "in the case of sends, normal replies can be omitted."
             entry = None
         else:
-            encoder = codec or OutcomeCodec(_EMPTY_HANDLER_TYPE)
+            encoder = codec or OutcomeCodec.for_type(_EMPTY_HANDLER_TYPE)
             try:
                 outcome_bytes = encoder.encode(outcome)
             except EncodeError as exc:
@@ -367,7 +371,7 @@ class StreamReceiver:
             packet.size,
         )
         try:
-            self.network.send(message)
+            self.network.send(message, want_done=False)
         except NodeDown:
             return
         self._last_acked_call = self.expected_seq - 1

@@ -62,6 +62,10 @@ class SenderStats:
         self.flushes = 0
         self.synchs = 0
 
+    def snapshot(self) -> Dict[str, int]:
+        """A plain-dict copy of all counters."""
+        return dict(self.__dict__)
+
 
 class _PendingCall:
     """Sender-side bookkeeping for one outstanding call."""
@@ -181,7 +185,7 @@ class StreamSender:
     ) -> Optional[Promise]:
         self._check_usable()
         try:
-            args_bytes = ArgsCodec(handler_type).encode(tuple(args))
+            args_bytes = ArgsCodec.for_type(handler_type).encode(tuple(args))
         except EncodeError as exc:
             raise Failure("could not encode: %s" % (exc,)) from exc
 
@@ -196,7 +200,7 @@ class StreamSender:
                 label="%s#%d" % (port_id, seq),
             )
         self._pending[seq] = _PendingCall(
-            seq, kind, promise, OutcomeCodec(handler_type), entry
+            seq, kind, promise, OutcomeCodec.for_type(handler_type), entry
         )
         self._buffer.append(entry)
         tracer = self.env.tracer
@@ -363,7 +367,7 @@ class StreamSender:
             packet.size,
         )
         try:
-            self.network.send(message)
+            self.network.send(message, want_done=False)
         except NodeDown:
             # Our own node is down; the enclosing guardian is dead anyway.
             return
@@ -431,11 +435,17 @@ class StreamSender:
             return  # stale incarnation
 
         # Acknowledgements: drop delivered calls, note execution progress.
+        # Entries are kept in seq order, so acknowledged calls form a prefix:
+        # pop from the front until we pass the cumulative ack.
         progressed = False
-        for seq in list(self._unacked.keys()):
-            if seq <= packet.ack_call_seq:
-                del self._unacked[seq]
-                progressed = True
+        unacked = self._unacked
+        ack_seq = packet.ack_call_seq
+        while unacked:
+            seq = next(iter(unacked))
+            if seq > ack_seq:
+                break
+            del unacked[seq]
+            progressed = True
         if packet.completed_seq > self._completed_seq:
             self._completed_seq = packet.completed_seq
             progressed = True

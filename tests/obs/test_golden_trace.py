@@ -1,0 +1,87 @@
+"""Golden-trace determinism: the fast-path optimizations must be invisible.
+
+The simulator promises bit-identical behaviour run to run: same simulated
+timestamps, same event ordering, same wire traffic.  The PR 2 fast paths
+(callback-lane delivery, lazy alarms, codec caching, ``__slots__``) all
+touch scheduling internals, so these tests pin the *entire* Fig 3-1 grades
+trace — every event's time, type, and fields — across two independently
+built worlds.  Any optimization that perturbs heap tie-breaking, pid
+assignment, or delivery order shows up here as a first-divergence diff.
+"""
+
+from repro.apps import build_grades_world, make_roster, program_fig_3_1
+
+from .test_wire_regression import FIG31_WIRE_MESSAGES, GRADES_PARAMS
+
+N_STUDENTS = 20
+
+
+def run_traced_grades(n_students):
+    """One full Fig 3-1 run; returns the flattened golden trace."""
+    world = build_grades_world(tracing=True, **GRADES_PARAMS)
+    roster = make_roster(n_students)
+
+    def main(ctx):
+        count = yield from program_fig_3_1(ctx, roster)
+        return count
+
+    process = world.client.spawn(main)
+    world.system.run(until=process)
+    assert len(world.printed) == n_students
+    return [
+        (event.time, event.type, event.fields)
+        for event in world.system.tracer.events
+    ]
+
+
+def first_divergence(a, b):
+    """Index and pair of the first differing events, for a readable diff."""
+    for index, (left, right) in enumerate(zip(a, b)):
+        if left != right:
+            return index, left, right
+    return len(min(a, b, key=len)), None, None
+
+
+def test_fig31_trace_is_identical_across_runs():
+    first = run_traced_grades(N_STUDENTS)
+    second = run_traced_grades(N_STUDENTS)
+    assert len(first) == len(second), "trace lengths diverged"
+    if first != second:
+        index, left, right = first_divergence(first, second)
+        raise AssertionError(
+            "traces diverge at event %d:\n  run 1: %r\n  run 2: %r"
+            % (index, left, right)
+        )
+    # The golden trace carries the pinned wire count.
+    wire = sum(1 for _t, etype, _f in first if etype == "message.sent")
+    assert wire == FIG31_WIRE_MESSAGES[N_STUDENTS]
+    # Timestamps are simulated and monotone (heap pops in time order).
+    times = [time for time, _etype, _fields in first]
+    assert times == sorted(times)
+
+
+def test_fig31_trace_matches_under_traced_env(traced_env):
+    """Running with an unrelated traced environment alive must not matter.
+
+    Process pids and event sequence numbers are per-environment, so a
+    second live environment (here: the ``traced_env`` fixture, which has
+    its own tracer installed) cannot bleed into the grades world's trace.
+    """
+    # Burn some activity in the foreign environment before and between
+    # the golden runs: schedule and fire a few of its own events.
+    env = traced_env
+    env.process(_ticker(env))
+    env.run(until=5)
+
+    first = run_traced_grades(N_STUDENTS)
+
+    env.run(until=10)
+    assert env.tracer.events, "fixture environment traced its own activity"
+
+    second = run_traced_grades(N_STUDENTS)
+    assert first == second
+
+
+def _ticker(env):
+    for _ in range(4):
+        yield env.timeout(1.0)
