@@ -6,7 +6,13 @@ temporary trouble (retry later), ``failure`` for permanent trouble, and
 reincarnation making the stream usable again once the network heals.
 
 Run:  python examples/fault_tolerance.py
+      python examples/fault_tolerance.py --trace out/          # JSONL export
+      python examples/fault_tolerance.py --trace out/ \
+          --chrome-trace out/faults.chrome.json                # + Chrome trace
 """
+
+import argparse
+import os
 
 from repro import ArgusSystem, Failure, HandlerType, INT, StreamConfig, Unavailable
 from repro.net import schedule_partition
@@ -14,9 +20,40 @@ from repro.net import schedule_partition
 ECHO = HandlerType(args=[INT], returns=[INT])
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="run with tracing on and write a JSONL event trace under DIR",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="also write a Chrome trace-event JSON to PATH (implies tracing)",
+    )
+    return parser.parse_args()
+
+
+def export_traces(system: ArgusSystem, name: str, options) -> None:
+    if options.trace:
+        os.makedirs(options.trace, exist_ok=True)
+        path = os.path.join(options.trace, "%s.trace.jsonl" % name)
+        events = system.export_trace(path)
+        print("\nTrace: %d events -> %s" % (events, path))
+        print("Analyze with: python -m repro.obs critical-path %s" % path)
+    if options.chrome_trace:
+        from repro.obs.spans import write_chrome_trace
+
+        slices = write_chrome_trace(system.tracer.events, options.chrome_trace)
+        print("Chrome trace: %d slices -> %s  (open in chrome://tracing "
+              "or ui.perfetto.dev)" % (slices, options.chrome_trace))
+
+
 def main() -> None:
+    options = parse_args()
+    tracing = bool(options.trace or options.chrome_trace)
     config = StreamConfig(batch_size=4, max_buffer_delay=0.5, rto=4.0, max_retries=2)
-    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config,
+                         tracing=tracing)
     server = system.create_guardian("server")
 
     def echo(ctx, x):
@@ -65,6 +102,7 @@ def main() -> None:
 
     process = client.spawn(client_main)
     print("\n->", system.run(until=process))
+    export_traces(system, "fault_tolerance", options)
 
 
 if __name__ == "__main__":

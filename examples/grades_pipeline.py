@@ -36,9 +36,9 @@ N_STUDENTS = 40
 STEP_COST = 0.3  # client CPU per loop iteration
 
 
-def export_fig31_trace(out_dir: str) -> None:
+def export_fig31_trace(out_dir: str, chrome_path: str = None) -> None:
     """Re-run Figure 3-1 with tracing on; write a JSONL event trace and a
-    JSON metrics summary under *out_dir*."""
+    JSON metrics summary under *out_dir* (plus an optional Chrome trace)."""
     roster = make_roster(N_STUDENTS)
     world = build_grades_world(latency=5.0, kernel_overhead=0.2,
                                record_cost=0.4, print_cost=0.3, tracing=True)
@@ -60,6 +60,13 @@ def export_fig31_trace(out_dir: str) -> None:
     for key, value in sorted(report["derived"].items()):
         print("    %-22s %s" % (key, value))
 
+    if chrome_path:
+        from repro.obs.spans import write_chrome_trace
+
+        slices = write_chrome_trace(world.system.tracer.events, chrome_path)
+        print("Chrome trace: %d slices -> %s  (open in chrome://tracing "
+              "or ui.perfetto.dev)" % (slices, chrome_path))
+
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
@@ -67,7 +74,13 @@ def main() -> None:
         "--trace", metavar="DIR", default=None,
         help="also run Fig 3-1 traced and write JSONL + summary under DIR",
     )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="with --trace: also write a Chrome trace-event JSON to PATH",
+    )
     options = parser.parse_args()
+    if options.chrome_trace and not options.trace:
+        parser.error("--chrome-trace requires --trace")
     roster = make_roster(N_STUDENTS)
     reference = None
     print("Recording and printing grades for %d students:\n" % N_STUDENTS)
@@ -97,7 +110,7 @@ def main() -> None:
     print("    ...")
 
     if options.trace:
-        export_fig31_trace(options.trace)
+        export_fig31_trace(options.trace, options.chrome_trace)
 
 
 if __name__ == "__main__":

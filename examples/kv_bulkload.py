@@ -7,7 +7,13 @@ coenter that loads two shards concurrently while a failure in one shard
 cleanly terminates the other.
 
 Run:  python examples/kv_bulkload.py
+      python examples/kv_bulkload.py --trace out/              # JSONL export
+      python examples/kv_bulkload.py --trace out/ \
+          --chrome-trace out/kv.chrome.json                    # + Chrome trace
 """
+
+import argparse
+import os
 
 from repro import ArgusSystem, HandlerType, INT, STRING, Signal, StreamConfig
 
@@ -35,10 +41,26 @@ def build_store(system, name):
     return store
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--trace", metavar="DIR", default=None,
+        help="run with tracing on and write a JSONL event trace under DIR",
+    )
+    parser.add_argument(
+        "--chrome-trace", metavar="PATH", default=None,
+        help="also write a Chrome trace-event JSON to PATH (implies tracing)",
+    )
+    return parser.parse_args()
+
+
 def main() -> None:
+    options = parse_args()
+    tracing = bool(options.trace or options.chrome_trace)
     config = StreamConfig(batch_size=32, reply_batch_size=32,
                           max_buffer_delay=1.0, reply_max_delay=1.0)
-    system = ArgusSystem(latency=3.0, kernel_overhead=0.2, stream_config=config)
+    system = ArgusSystem(latency=3.0, kernel_overhead=0.2, stream_config=config,
+                         tracing=tracing)
     shard_a = build_store(system, "shard_a")
     shard_b = build_store(system, "shard_b")
     client = system.create_guardian("client")
@@ -84,6 +106,19 @@ def main() -> None:
 
     process = client.spawn(client_main)
     system.run(until=process)
+
+    if options.trace:
+        os.makedirs(options.trace, exist_ok=True)
+        path = os.path.join(options.trace, "kv_bulkload.trace.jsonl")
+        events = system.export_trace(path)
+        print("\nTrace: %d events -> %s" % (events, path))
+        print("Analyze with: python -m repro.obs critical-path %s" % path)
+    if options.chrome_trace:
+        from repro.obs.spans import write_chrome_trace
+
+        slices = write_chrome_trace(system.tracer.events, options.chrome_trace)
+        print("Chrome trace: %d slices -> %s  (open in chrome://tracing "
+              "or ui.perfetto.dev)" % (slices, options.chrome_trace))
 
 
 if __name__ == "__main__":

@@ -173,12 +173,20 @@ class Coenter:
         # Creating processes burdens the system (§4.3); arms start
         # staggered by the configured per-process overhead.
         spawn_overhead = getattr(self.ctx.system, "process_spawn_overhead", 0.0)
+        # Arms inherit the coenter'ing process's causal span (tracing
+        # only): calls an arm makes nest under the span the parent was
+        # running in, keeping the whole coenter one call tree.
+        parent_span = None
+        if self.env.tracer is not None and self.env.active_process is not None:
+            parent_span = self.env.active_process.span
         for index, arm in enumerate(self._arms):
             arm_ctx = self.ctx.spawn_context(arm.label)
             arm_contexts.append(arm_ctx)
             process = self.env.process(
                 self._run_arm(arm, arm_ctx, index * spawn_overhead)
             )
+            if parent_span is not None:
+                process.span = parent_span
             self.ctx.guardian._track(process)
             processes.append(process)
 

@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 from repro.core.exceptions import ArgusError, Failure, Unavailable
 from repro.core.outcome import Outcome
 from repro.core.promise import Promise
+from repro.obs.trace import mint_span
 from repro.sim.process import Interrupt, ProcessKilled
 from repro.types.signatures import PromiseType
 
@@ -40,9 +41,25 @@ def fork(
     """
     env = ctx.env
     name = label or getattr(procedure, "__name__", "fork")
+    tracer = env.tracer
+    # The fork is a span of its own: minted in the forking process (so it
+    # nests under whatever call is running) and inherited by the forked
+    # process, so calls the forked procedure makes nest under the fork.
+    span = mint_span(env) if tracer is not None else None
     child_ctx = ctx.spawn_context(name)
     promise = Promise(env, ptype, label="fork:%s" % name)
     process = env.process(procedure(child_ctx, *args))
+    if span is not None:
+        process.span = span
+        tracer.emit(
+            "fork.spawned",
+            label=name,
+            pid=process.pid,
+            trace_id=span[0],
+            span_id=span[1],
+            parent_span_id=span[2],
+            promise_id=promise.promise_id,
+        )
     ctx.guardian._track(process)
 
     def complete(event) -> None:

@@ -62,7 +62,7 @@ class GroupDispatcher(CallDispatcher):
         self.guardian = guardian
         self.group = group
         self.env = guardian.env
-        self._queue: Deque[Tuple[StreamReceiver, int, str, bytes, str]] = deque()
+        self._queue: Deque[Tuple[StreamReceiver, int, str, bytes, str, Any]] = deque()
         self._driver = None
         self._stopped = False
         #: Handler processes currently executing (for orphan destruction).
@@ -78,11 +78,12 @@ class GroupDispatcher(CallDispatcher):
         port_id: str,
         args_bytes: bytes,
         kind: str,
+        span: Optional[Tuple[int, int, int]] = None,
     ) -> None:
         """Queue one delivered request; starts the driver if idle."""
         if self._stopped or not self.guardian.alive:
             return
-        self._queue.append((receiver, seq, port_id, args_bytes, kind))
+        self._queue.append((receiver, seq, port_id, args_bytes, kind, span))
         if self._driver is None or self._driver.triggered:
             runner = self._run_parallel() if self.group.parallel else self._run()
             self._driver = self.env.process(runner)
@@ -105,7 +106,7 @@ class GroupDispatcher(CallDispatcher):
     # ------------------------------------------------------------------
     def _run(self):
         while self._queue and not self._stopped and self.guardian.alive:
-            receiver, seq, port_id, args_bytes, kind = self._queue.popleft()
+            receiver, seq, port_id, args_bytes, kind, span = self._queue.popleft()
 
             port = self.group.lookup(port_id)
             if port is None:
@@ -123,7 +124,8 @@ class GroupDispatcher(CallDispatcher):
             overhead = self.guardian.system.process_spawn_overhead
             if overhead > 0:
                 yield self.env.timeout(overhead)
-            process = self.guardian.spawn_handler(port, args)
+            process = self.guardian.spawn_handler(port, args, span=span)
+            self._emit_executing(receiver, seq, port_id, span, process)
             self._running.append(process)
             try:
                 result = yield process
@@ -139,8 +141,36 @@ class GroupDispatcher(CallDispatcher):
                 outcome = normalize_result(port.handler_type, result)
             finally_running = [p for p in self._running if p.is_alive]
             self._running = finally_running
+            self._emit_completed(receiver, seq, span, outcome)
             receiver.post_outcome(
                 seq, outcome, kind, OutcomeCodec.for_type(port.handler_type)
+            )
+
+    def _emit_executing(self, receiver, seq, port_id, span, process) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.call_executing",
+                stream=receiver.trace_label,
+                incarnation=receiver.incarnation,
+                seq=seq,
+                port=port_id,
+                pid=process.pid,
+                trace_id=span[0] if span is not None else None,
+                span_id=span[1] if span is not None else None,
+            )
+
+    def _emit_completed(self, receiver, seq, span, outcome) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.call_completed",
+                stream=receiver.trace_label,
+                incarnation=receiver.incarnation,
+                seq=seq,
+                status=outcome.condition,
+                trace_id=span[0] if span is not None else None,
+                span_id=span[1] if span is not None else None,
             )
 
     # ------------------------------------------------------------------
@@ -153,7 +183,7 @@ class GroupDispatcher(CallDispatcher):
         travel in call order even though execution overlaps.
         """
         while self._queue and not self._stopped and self.guardian.alive:
-            receiver, seq, port_id, args_bytes, kind = self._queue.popleft()
+            receiver, seq, port_id, args_bytes, kind, span = self._queue.popleft()
 
             port = self.group.lookup(port_id)
             if port is None:
@@ -168,11 +198,14 @@ class GroupDispatcher(CallDispatcher):
             overhead = self.guardian.system.process_spawn_overhead
             if overhead > 0:
                 yield self.env.timeout(overhead)
-            process = self.guardian.spawn_handler(port, args)
+            process = self.guardian.spawn_handler(port, args, span=span)
+            self._emit_executing(receiver, seq, port_id, span, process)
             self._running.append(process)
-            self._hook_completion(process, receiver, seq, kind, port)
+            self._hook_completion(process, receiver, seq, kind, port, span)
 
-    def _hook_completion(self, process, receiver, seq: int, kind: str, port) -> None:
+    def _hook_completion(
+        self, process, receiver, seq: int, kind: str, port, span
+    ) -> None:
         def complete(event) -> None:
             self._running = [p for p in self._running if p.is_alive]
             if event.ok:
@@ -188,6 +221,7 @@ class GroupDispatcher(CallDispatcher):
                     return  # guardian crashed; no reply will be sent
                 else:
                     outcome = Outcome.failure("handler crashed: %r" % (exc,))
+            self._emit_completed(receiver, seq, span, outcome)
             receiver.post_outcome(
                 seq, outcome, kind, OutcomeCodec.for_type(port.handler_type)
             )

@@ -275,10 +275,17 @@ class Guardian:
         self._track(process)
         return process
 
-    def spawn_handler(self, port: Port, args: tuple) -> Process:
-        """Run one handler call in a fresh process (fresh agent)."""
+    def spawn_handler(self, port: Port, args: tuple, span: Any = None) -> Process:
+        """Run one handler call in a fresh process (fresh agent).
+
+        *span* is the call's causal trace context (tracing only): attached
+        to the process so that remote calls and forks the handler makes
+        nest under the call that started it.
+        """
         ctx = self.new_context(port.port_id)
         process = self.env.process(port.impl(ctx, *args))
+        if span is not None:
+            process.span = span
         self._track(process)
         return process
 

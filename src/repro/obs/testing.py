@@ -8,41 +8,105 @@ assertions::
         system = traced_system(latency=1.0)
         ...
         assert system.tracer.metrics.total("stream.duplicates") == 0
+
+Both fixtures attach the standard :class:`~repro.obs.monitor.MonitorSuite`
+to every tracer they hand out, so transport-invariant violations
+(duplicate delivery, call reordering, double resolution, claim before
+resolve) raise at the simulated moment they occur — and are re-asserted
+at teardown, which catches raises that handler plumbing swallowed.
+
+When the environment variable ``REPRO_TRACE_DIR`` names a directory and a
+traced test *fails*, each fixture exports its captured events there as
+``<testname>.jsonl`` — CI uploads that directory as a build artifact, so
+a red run ships the evidence needed to replay it with ``python -m
+repro.obs``.
 """
 
 from __future__ import annotations
 
+import os
+import re
+
 import pytest
 
+from repro.obs.monitor import MonitorSuite
 from repro.obs.trace import Tracer
 
 __all__ = ["traced_env", "traced_system"]
 
 
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """Stamp each test item with its call-phase report, so fixtures can
+    tell at teardown whether the test body failed."""
+    outcome = yield
+    report = outcome.get_result()
+    if report.when == "call":
+        item.rep_call = report
+
+
+def _failed(request) -> bool:
+    report = getattr(request.node, "rep_call", None)
+    return report is not None and report.failed
+
+
+def _export_on_failure(request, tracer: Tracer, suffix: str = "") -> None:
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir or not _failed(request):
+        return
+    os.makedirs(trace_dir, exist_ok=True)
+    stem = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    path = os.path.join(trace_dir, "%s%s.jsonl" % (stem, suffix))
+    try:
+        tracer.export_jsonl(path)
+    except OSError:
+        pass  # artifact export is best-effort; never mask the real failure
+
+
 @pytest.fixture
-def traced_env():
-    """A fresh simulation environment with a tracer already attached."""
+def traced_env(request):
+    """A fresh simulation environment with a tracer (and the standard
+    invariant monitors) already attached."""
     from repro.sim.kernel import Environment
 
     env = Environment()
-    Tracer.install(env)
-    return env
+    tracer = Tracer.install(env)
+    suite = MonitorSuite.install(tracer)
+    yield env
+    _export_on_failure(request, tracer)
+    suite.assert_clean()
 
 
 @pytest.fixture
-def traced_system():
+def traced_system(request):
     """Factory for :class:`ArgusSystem` instances with tracing enabled.
 
     Returns a callable accepting the same keyword arguments as
     ``ArgusSystem``; deterministic cheap-network defaults match the
-    ``system`` fixture in ``tests/conftest.py``.
+    ``system`` fixture in ``tests/conftest.py``.  Every built system gets
+    the standard monitor suite; all suites are re-checked at teardown.
     """
     from repro.entities.system import ArgusSystem
+
+    built = []
 
     def build(**kwargs):
         kwargs.setdefault("latency", 1.0)
         kwargs.setdefault("kernel_overhead", 0.1)
         kwargs.setdefault("tracing", True)
-        return ArgusSystem(**kwargs)
+        system = ArgusSystem(**kwargs)
+        if system.tracer is not None:
+            MonitorSuite.install(system.tracer)
+        built.append(system)
+        return system
 
-    return build
+    yield build
+    for index, system in enumerate(built):
+        tracer = system.tracer
+        if tracer is None:
+            continue
+        _export_on_failure(
+            request, tracer, suffix="" if len(built) == 1 else "-%d" % index
+        )
+        if tracer.monitors is not None:
+            tracer.monitors.assert_clean()

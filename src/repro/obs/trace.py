@@ -29,13 +29,17 @@ histograms, so most assertions can use aggregates without walking events.
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, List, Optional
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import Metrics
 
 __all__ = [
     "TraceEvent",
     "Tracer",
+    "load_jsonl",
+    "mint_span",
+    "summary_from_metrics",
     # Event type constants, grouped by layer.
     "EV_PROCESS_CREATED",
     "EV_PROCESS_RESUMED",
@@ -51,8 +55,11 @@ __all__ = [
     "EV_PACKET_SENT",
     "EV_CALL_DELIVERED",
     "EV_CALL_DUPLICATE",
+    "EV_CALL_EXECUTING",
+    "EV_CALL_COMPLETED",
     "EV_REPLY_PACKET_SENT",
     "EV_CALL_RESOLVED",
+    "EV_FORK_SPAWNED",
     "EV_STREAM_BREAK",
     "EV_STREAM_REFUSED",
     "EV_GUARDIAN_CRASHED",
@@ -82,10 +89,15 @@ EV_CALL_BUFFERED = "stream.call_buffered"
 EV_PACKET_SENT = "stream.packet_sent"
 EV_CALL_DELIVERED = "stream.call_delivered"
 EV_CALL_DUPLICATE = "stream.call_duplicate"
+EV_CALL_EXECUTING = "stream.call_executing"
+EV_CALL_COMPLETED = "stream.call_completed"
 EV_REPLY_PACKET_SENT = "stream.reply_packet_sent"
 EV_CALL_RESOLVED = "stream.call_resolved"
 EV_STREAM_BREAK = "stream.break"
 EV_STREAM_REFUSED = "stream.refused"
+
+# -- concurrency layer -------------------------------------------------
+EV_FORK_SPAWNED = "fork.spawned"
 
 # -- entity layer ------------------------------------------------------
 EV_GUARDIAN_CRASHED = "guardian.crashed"
@@ -96,6 +108,28 @@ EV_PROMISE_CREATED = "promise.created"
 EV_PROMISE_RESOLVED = "promise.resolved"
 EV_PROMISE_CLAIMED = "promise.claimed"
 EV_PROMISE_CLAIM_LATENCY = "promise.claim_latency"
+
+
+def mint_span(env: Any) -> Tuple[int, int, int]:
+    """Mint a causal span context ``(trace_id, span_id, parent_span_id)``.
+
+    Called only when tracing is enabled, at the moment a call is made (a
+    stream call, an RPC, or a fork).  The parent is the span of the
+    currently executing process — set by the dispatcher for handler
+    executions and by ``fork`` for forked procedures — so a call made from
+    inside a handler nests under the call that started that handler.  A
+    call with no enclosing span starts a new trace (``parent_span_id`` 0).
+
+    All identifiers come from the per-environment serial counters
+    (:meth:`~repro.sim.kernel.Environment.new_serial`), so span ids are
+    deterministic across runs and across environments — the golden-trace
+    test compares them verbatim.
+    """
+    active = env.active_process
+    parent = active.span if active is not None else None
+    if parent is None:
+        return (env.new_serial("trace"), env.new_serial("span"), 0)
+    return (parent[0], env.new_serial("span"), parent[1])
 
 
 class TraceEvent:
@@ -123,21 +157,43 @@ class Tracer:
     Attach with :meth:`install` (or ``ArgusSystem(tracing=True)``); detach
     by setting ``env.tracer = None``.  With ``capture=False`` the raw event
     list is not kept (metrics only), which bounds memory on long runs.
+    With ``max_events=N`` the event store becomes a ring buffer keeping the
+    most recent N events (``dropped_events`` counts the overflow), so long
+    fault-injection runs can keep full tracing on with bounded memory.
     """
 
-    def __init__(self, env: Any, capture: bool = True, metrics: Optional[Metrics] = None) -> None:
+    def __init__(
+        self,
+        env: Any,
+        capture: bool = True,
+        metrics: Optional[Metrics] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
         self.env = env
         self.capture = capture
-        self.events: List[TraceEvent] = []
+        self.max_events = max_events
+        #: Events evicted from the ring buffer (0 unless max_events is set
+        #: and the run outgrew it).
+        self.dropped_events = 0
+        if max_events is not None:
+            if max_events <= 0:
+                raise ValueError("max_events must be positive, got %r" % (max_events,))
+            self.events: Any = deque(maxlen=max_events)
+        else:
+            self.events = []
         self.metrics = metrics or Metrics()
+        #: Attached :class:`~repro.obs.monitor.MonitorSuite`, or None.
+        self.monitors = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @classmethod
-    def install(cls, env: Any, capture: bool = True) -> "Tracer":
+    def install(
+        cls, env: Any, capture: bool = True, max_events: Optional[int] = None
+    ) -> "Tracer":
         """Create a tracer and attach it as ``env.tracer``."""
-        tracer = cls(env, capture=capture)
+        tracer = cls(env, capture=capture, max_events=max_events)
         env.tracer = tracer
         return tracer
 
@@ -153,10 +209,16 @@ class Tracer:
         """Record one event at the current simulated time."""
         now = self.env.now
         if self.capture:
-            self.events.append(TraceEvent(now, etype, fields))
+            events = self.events
+            if self.max_events is not None and len(events) == self.max_events:
+                self.dropped_events += 1
+            events.append(TraceEvent(now, etype, fields))
         aggregate = _AGGREGATORS.get(etype)
         if aggregate is not None:
             aggregate(self.metrics, fields)
+        monitors = self.monitors
+        if monitors is not None:
+            monitors.observe(etype, now, fields)
 
     # ------------------------------------------------------------------
     # Reading
@@ -192,23 +254,7 @@ class Tracer:
         in, e.g. wire messages per stream call (the buffering amortization
         of §2) and mean promise claim latency.
         """
-        metrics = self.metrics
-        report = metrics.summary()
-        calls = metrics.total("stream.calls")
-        wire_messages = metrics.total("net.messages_sent")
-        claim_wait = metrics.merged_histogram("promise.claim_latency")
-        derived: Dict[str, Any] = {
-            "stream_calls": calls,
-            "wire_messages": wire_messages,
-            "messages_per_call": (wire_messages / calls) if calls else None,
-            "promises_outstanding": (
-                metrics.total("promise.created") - metrics.total("promise.resolved")
-            ),
-            "mean_claim_latency": claim_wait.mean if claim_wait.count else None,
-        }
-        report["derived"] = derived
-        report["event_count"] = len(self.events)
-        return report
+        return summary_from_metrics(self.metrics, len(self.events))
 
     def summary_json(self, path: str) -> Dict[str, Any]:
         """Write :meth:`summary` to *path* as JSON; returns the report."""
@@ -220,6 +266,64 @@ class Tracer:
 
     def __repr__(self) -> str:
         return "<Tracer events=%d capture=%r>" % (len(self.events), self.capture)
+
+
+def summary_from_metrics(metrics: Metrics, event_count: int) -> Dict[str, Any]:
+    """The :meth:`Tracer.summary` report, computable from any metrics
+    registry — including one rebuilt offline from an exported JSONL trace
+    (see :func:`replay_metrics` and the ``summarize`` CLI subcommand)."""
+    report = metrics.summary()
+    calls = metrics.total("stream.calls")
+    wire_messages = metrics.total("net.messages_sent")
+    claim_wait = metrics.merged_histogram("promise.claim_latency")
+    derived: Dict[str, Any] = {
+        "stream_calls": calls,
+        "wire_messages": wire_messages,
+        "messages_per_call": (wire_messages / calls) if calls else None,
+        "promises_outstanding": (
+            metrics.total("promise.created") - metrics.total("promise.resolved")
+        ),
+        "mean_claim_latency": claim_wait.mean if claim_wait.count else None,
+    }
+    report["derived"] = derived
+    report["event_count"] = event_count
+    return report
+
+
+def replay_metrics(events: List[TraceEvent]) -> Metrics:
+    """Rebuild a :class:`Metrics` registry by re-aggregating *events*.
+
+    Inverse of the live path: a loaded JSONL trace carries only raw events,
+    so the CLI replays them through the same aggregation table the tracer
+    uses online.
+    """
+    metrics = Metrics()
+    for event in events:
+        aggregate = _AGGREGATORS.get(event.type)
+        if aggregate is not None:
+            aggregate(metrics, event.fields)
+    return metrics
+
+
+def load_jsonl(path: str) -> List[TraceEvent]:
+    """Read a trace exported with :meth:`Tracer.export_jsonl`.
+
+    Returns the events in file order as :class:`TraceEvent` objects, so
+    everything that consumes ``tracer.events`` — the span builder, the
+    critical-path analyzer, the Chrome exporter, metric replay — works the
+    same on a loaded trace.  Blank lines are skipped.
+    """
+    events: List[TraceEvent] = []
+    with open(path, "r") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            time = record.pop("t")
+            etype = record.pop("type")
+            events.append(TraceEvent(time, etype, record))
+    return events
 
 
 # ----------------------------------------------------------------------
@@ -264,6 +368,20 @@ def _agg_call_delivered(metrics: Metrics, fields: Dict[str, Any]) -> None:
 
 def _agg_call_duplicate(metrics: Metrics, fields: Dict[str, Any]) -> None:
     metrics.inc("stream.duplicates", stream=fields["stream"])
+
+
+def _agg_call_executing(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("stream.calls_executing", stream=fields["stream"])
+
+
+def _agg_call_completed(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc(
+        "stream.calls_completed", stream=fields["stream"], status=fields["status"]
+    )
+
+
+def _agg_fork_spawned(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("concurrency.forks")
 
 
 def _agg_reply_packet_sent(metrics: Metrics, fields: Dict[str, Any]) -> None:
@@ -348,6 +466,9 @@ _AGGREGATORS = {
     EV_PACKET_SENT: _agg_packet_sent,
     EV_CALL_DELIVERED: _agg_call_delivered,
     EV_CALL_DUPLICATE: _agg_call_duplicate,
+    EV_CALL_EXECUTING: _agg_call_executing,
+    EV_CALL_COMPLETED: _agg_call_completed,
+    EV_FORK_SPAWNED: _agg_fork_spawned,
     EV_REPLY_PACKET_SENT: _agg_reply_packet_sent,
     EV_CALL_RESOLVED: _agg_call_resolved,
     EV_STREAM_BREAK: _agg_stream_break,

@@ -68,6 +68,10 @@ class Process(Event):
     # _critical_depth and _wound_cause belong to the critical-section layer
     # (repro.concurrency.critical) which annotates processes; they are
     # declared here so Process stays fully slotted.
+    # span belongs to the observability layer (repro.obs): the causal
+    # (trace_id, span_id, parent_span_id) context the process runs under,
+    # or None.  Set only when tracing is enabled, by the dispatcher (handler
+    # executions), fork, and coenter; read by repro.obs.trace.mint_span.
     __slots__ = (
         "_generator",
         "pid",
@@ -75,6 +79,7 @@ class Process(Event):
         "_kill_pending",
         "_critical_depth",
         "_wound_cause",
+        "span",
     )
 
     def __init__(self, env: Environment, generator: Generator) -> None:
@@ -94,6 +99,8 @@ class Process(Event):
         #: Set when the process killed itself (or was killed while
         #: executing); honoured at its next suspension point.
         self._kill_pending: Optional[ProcessKilled] = None
+        #: Causal span context this process runs under (tracing only).
+        self.span = None
         tracer = env.tracer
         if tracer is not None:
             tracer.emit(

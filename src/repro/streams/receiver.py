@@ -61,8 +61,14 @@ class CallDispatcher:
         port_id: str,
         args_bytes: bytes,
         kind: str,
+        span: Optional[Tuple[int, int, int]] = None,
     ) -> None:
-        """Execute one in-order request; report via post_outcome."""
+        """Execute one in-order request; report via post_outcome.
+
+        *span* is the call's causal trace context (None when tracing is
+        disabled); the entity layer attaches it to the handler process so
+        nested calls made by the handler parent under this call.
+        """
         raise NotImplementedError
 
     def stop(self, reason: str) -> None:
@@ -211,6 +217,7 @@ class StreamReceiver:
         """Hand one in-order request to the entity layer."""
         self.expected_seq = entry.seq + 1
         self.stats.calls_delivered += 1
+        span = entry.span
         tracer = self.env.tracer
         if tracer is not None:
             tracer.emit(
@@ -220,8 +227,13 @@ class StreamReceiver:
                 seq=entry.seq,
                 port=entry.port_id,
                 kind=entry.kind,
+                trace_id=span[0] if span is not None else None,
+                span_id=span[1] if span is not None else None,
+                parent_span_id=span[2] if span is not None else None,
             )
-        self.dispatcher.dispatch(self, entry.seq, entry.port_id, entry.args_bytes, entry.kind)
+        self.dispatcher.dispatch(
+            self, entry.seq, entry.port_id, entry.args_bytes, entry.kind, span
+        )
 
     # ------------------------------------------------------------------
     # Outcome intake (from the entity layer)
@@ -388,6 +400,11 @@ class StreamReceiver:
                 entries=len(entries),
                 ack_call_seq=packet.ack_call_seq,
                 completed_seq=packet.completed_seq,
+                # Reply entries travel in seq order; the range (plus the
+                # completed_seq watermark, which covers sends with no reply
+                # entry) dates each call's reply-on-wire phase.
+                seq_lo=entries[0].seq if entries else None,
+                seq_hi=entries[-1].seq if entries else None,
             )
         if self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
             self._pending_synch_seq = None

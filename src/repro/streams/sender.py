@@ -30,6 +30,7 @@ from repro.encoding.errors import DecodeError, EncodeError
 from repro.encoding.transmit import ArgsCodec, OutcomeCodec
 from repro.net.message import Message
 from repro.net.network import Network, NodeDown
+from repro.obs.trace import mint_span
 from repro.sim.alarm import Alarm
 from repro.sim.events import Event
 from repro.sim.kernel import Environment
@@ -191,7 +192,14 @@ class StreamSender:
 
         seq = self._next_seq
         self._next_seq += 1
-        entry = CallEntry(seq, port_id, kind, args_bytes)
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None:
+            # Causal context: minted here, at the calling agent, and
+            # carried on the entry so every later event of this call —
+            # delivery, execution, reply, resolution — attaches to it.
+            span = mint_span(self.env)
+        entry = CallEntry(seq, port_id, kind, args_bytes, span)
         promise = None
         if want_promise:
             promise = Promise(
@@ -203,15 +211,19 @@ class StreamSender:
             seq, kind, promise, OutcomeCodec.for_type(handler_type), entry
         )
         self._buffer.append(entry)
-        tracer = self.env.tracer
         if tracer is not None:
             tracer.emit(
                 "stream.call_buffered",
                 stream=self.trace_label,
+                incarnation=self.incarnation,
                 seq=seq,
                 port=port_id,
                 kind=kind,
                 buffered=len(self._buffer),
+                trace_id=span[0],
+                span_id=span[1],
+                parent_span_id=span[2],
+                promise_id=promise.promise_id if promise is not None else None,
             )
         self.stats.calls_made += 1
         if kind == KIND_RPC:
@@ -382,6 +394,11 @@ class StreamSender:
                 entries=len(entries),
                 attempt=attempt,
                 flush_replies=flush_replies,
+                # Entries are kept in seq order, so the packet covers a
+                # contiguous range; the span builder uses it to date each
+                # call's on-wire phase.
+                seq_lo=entries[0].seq if entries else None,
+                seq_hi=entries[-1].seq if entries else None,
             )
 
     def _has_unresolved(self) -> bool:
@@ -504,12 +521,18 @@ class StreamSender:
     def _resolve(self, pending: _PendingCall, outcome: Outcome) -> None:
         tracer = self.env.tracer
         if tracer is not None:
+            span = pending.entry.span
+            promise = pending.promise
             tracer.emit(
                 "stream.call_resolved",
                 stream=self.trace_label,
+                incarnation=self.incarnation,
                 seq=pending.seq,
                 kind=pending.kind,
                 status=outcome.condition,
+                trace_id=span[0] if span is not None else None,
+                span_id=span[1] if span is not None else None,
+                promise_id=promise.promise_id if promise is not None else None,
             )
         if outcome.is_exceptional:
             self._exceptional_seqs.add(pending.seq)

@@ -96,17 +96,32 @@ class StreamKey:
 
 
 class CallEntry:
-    """One call request inside a :class:`CallPacket`."""
+    """One call request inside a :class:`CallPacket`.
 
-    __slots__ = ("seq", "port_id", "kind", "args_bytes")
+    ``span`` is the causal trace context ``(trace_id, span_id,
+    parent_span_id)`` minted at the calling agent, or None when tracing is
+    disabled.  It rides the entry so receiver-side events attach to the
+    originating span; being observability metadata, it is not charged any
+    wire bytes (the simulated packet sizes are identical traced or not).
+    """
 
-    def __init__(self, seq: int, port_id: str, kind: str, args_bytes: bytes) -> None:
+    __slots__ = ("seq", "port_id", "kind", "args_bytes", "span")
+
+    def __init__(
+        self,
+        seq: int,
+        port_id: str,
+        kind: str,
+        args_bytes: bytes,
+        span: Optional[Tuple[int, int, int]] = None,
+    ) -> None:
         if kind not in (KIND_RPC, KIND_STREAM, KIND_SEND):
             raise ValueError("unknown call kind %r" % (kind,))
         self.seq = seq
         self.port_id = port_id
         self.kind = kind
         self.args_bytes = args_bytes
+        self.span = span
 
     @property
     def size(self) -> int:

@@ -60,6 +60,32 @@ def test_fig31_trace_is_identical_across_runs():
     assert times == sorted(times)
 
 
+def test_fig31_span_ids_are_deterministic_and_complete():
+    """Span contexts are part of the golden trace: every call event must
+    carry them, minted from per-environment serial counters so two
+    independent runs agree verbatim (the full-trace comparison above
+    covers equality; this pins presence and shape)."""
+    trace = run_traced_grades(N_STUDENTS)
+    buffered = [fields for _t, etype, fields in trace
+                if etype == "stream.call_buffered"]
+    assert len(buffered) == 2 * N_STUDENTS
+    span_ids = [fields["span_id"] for fields in buffered]
+    trace_ids = [fields["trace_id"] for fields in buffered]
+    assert len(set(span_ids)) == len(span_ids), "span ids must be unique"
+    # The client loop has no enclosing span: every call roots its own trace.
+    assert all(fields["parent_span_id"] == 0 for fields in buffered)
+    assert len(set(trace_ids)) == len(trace_ids)
+    # Ids come from fresh per-environment counters: dense from 1.
+    assert sorted(span_ids) == list(range(1, len(span_ids) + 1))
+    # Delivery and resolution carry the same span identity end to end.
+    by_key = {
+        (f["stream"], f["seq"]): f["span_id"] for f in buffered
+    }
+    for _t, etype, fields in trace:
+        if etype in ("stream.call_delivered", "stream.call_resolved"):
+            assert fields["span_id"] == by_key[(fields["stream"], fields["seq"])]
+
+
 def test_fig31_trace_matches_under_traced_env(traced_env):
     """Running with an unrelated traced environment alive must not matter.
 

@@ -1,0 +1,236 @@
+"""Span reconstruction, critical-path analysis, and Chrome export.
+
+The phase model is exact by construction: the six phase durations of a
+complete call are differences of consecutive event timestamps, so they
+must sum to the call's end-to-end latency bit-for-bit (well, within float
+tolerance).  These tests pin that invariant on the Figure 3-1 golden
+workload, check causal nesting (handler → nested call, fork → call), and
+validate the Chrome trace-event output shape.
+"""
+
+import json
+
+from repro.obs import Tracer
+from repro.obs.spans import (
+    PHASES,
+    aggregate_critical_path,
+    build_spans,
+    build_trees,
+    critical_path,
+    format_tree,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.trace import load_jsonl
+from repro.types import INT, HandlerType
+
+from .test_wire_regression import run_grades_fig31
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+TOLERANCE = 1e-9
+
+
+def fig31_events():
+    return run_grades_fig31(20).tracer.events
+
+
+# ----------------------------------------------------------------------
+# Critical-path golden test (Fig 3-1)
+# ----------------------------------------------------------------------
+def test_fig31_phases_sum_to_end_to_end():
+    spans = build_spans(fig31_events())
+    # 20 record_grade calls + 20 print sends, all resolved.
+    assert len(spans) == 40
+    assert all(span.complete for span in spans)
+    for span in spans:
+        phases = span.phases()
+        assert all(duration is not None for duration in phases.values())
+        assert all(duration >= 0 for duration in phases.values())
+        assert abs(sum(phases.values()) - span.end_to_end) < TOLERANCE
+        # The timeline is monotone.
+        assert (
+            span.t_buffered
+            <= span.t_sent
+            <= span.t_delivered
+            <= span.t_exec_start
+            <= span.t_exec_end
+            <= span.t_reply_sent
+            <= span.t_resolved
+        )
+
+
+def test_fig31_aggregate_critical_path():
+    spans = build_spans(fig31_events())
+    report = aggregate_critical_path(spans)
+    assert report["calls"] == report["complete_calls"] == 40
+    # Phase totals partition the total latency ...
+    assert (
+        abs(sum(report["phase_totals"].values()) - report["end_to_end_total"])
+        < TOLERANCE
+    )
+    # ... so the fractions sum to 1.
+    assert abs(sum(report["phase_fractions"].values()) - 1.0) < TOLERANCE
+    assert report["end_to_end_mean"] > 0
+    # With latency=5.0 each way, the wire phases dominate short handlers.
+    assert report["phase_totals"]["call_on_wire"] > 0
+    assert report["phase_totals"]["reply_on_wire"] > 0
+    slowest = report["slowest_call"]
+    assert slowest["end_to_end"] == max(span.end_to_end for span in spans)
+    assert slowest["dominant_phase"] in PHASES
+
+
+def test_per_call_critical_path_fields():
+    span = build_spans(fig31_events())[0]
+    detail = critical_path(span)
+    assert detail["complete"] is True
+    assert set(detail["phases"]) == set(PHASES)
+    assert detail["dominant_phase"] == max(
+        PHASES, key=lambda phase: detail["phases"][phase]
+    )
+    # claim_wait is joined from the promise, not part of the phase sum.
+    assert detail["claim_wait"] is not None
+
+
+def test_spans_work_identically_on_a_loaded_trace(tmp_path):
+    system = run_grades_fig31(20)
+    path = tmp_path / "fig31.jsonl"
+    system.export_trace(str(path))
+    live = build_spans(system.tracer.events)
+    loaded = build_spans(load_jsonl(str(path)))
+    assert [(s.stream, s.seq, s.span_id) for s in live] == [
+        (s.stream, s.seq, s.span_id) for s in loaded
+    ]
+    assert [s.phases() for s in live] == [s.phases() for s in loaded]
+
+
+# ----------------------------------------------------------------------
+# Causal nesting
+# ----------------------------------------------------------------------
+def build_two_tier(traced_system):
+    """client → frontend.relay → backend.echo: the relay handler's nested
+    call must appear as a child span of the relay call."""
+    system = traced_system()
+    backend = system.create_guardian("backend")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.05)
+        return x
+
+    backend.create_handler("echo", ECHO, echo)
+    frontend = system.create_guardian("frontend")
+
+    def relay(ctx, x):
+        doubled = yield ctx.lookup("backend", "echo").call(x * 2)
+        return doubled
+
+    frontend.create_handler("relay", ECHO, relay)
+    return system
+
+
+def test_nested_call_spans_nest_in_the_tree(traced_system):
+    system = build_two_tier(traced_system)
+
+    def main(ctx):
+        result = yield ctx.lookup("frontend", "relay").call(21)
+        return result
+
+    process = system.create_guardian("client").spawn(main)
+    assert system.run(until=process) == 42
+
+    roots = build_trees(system.tracer.events)
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.kind == "call"
+    assert root.call.port == "relay"
+    assert root.parent_span_id == 0
+    assert len(root.children) == 1
+    child = root.children[0]
+    assert child.call.port == "echo"
+    assert child.trace_id == root.trace_id
+    assert child.parent_span_id == root.span_id
+    # The nested call happens while the outer handler executes.
+    assert root.call.t_exec_start <= child.call.t_buffered
+    assert child.call.t_resolved <= root.call.t_exec_end
+    rendered = format_tree(roots)
+    assert "relay" in rendered and "echo" in rendered
+
+
+def test_fork_spans_parent_their_calls(traced_system):
+    system = build_two_tier(traced_system)
+
+    def forked(ctx, x):
+        result = yield ctx.lookup("backend", "echo").call(x)
+        return result
+
+    def main(ctx):
+        promise = ctx.fork(forked, 7, label="worker")
+        result = yield promise.claim()
+        return result
+
+    process = system.create_guardian("client").spawn(main)
+    assert system.run(until=process) == 7
+
+    roots = build_trees(system.tracer.events)
+    forks = [root for root in roots if root.kind == "fork"]
+    assert len(forks) == 1
+    fork_node = forks[0]
+    assert fork_node.name == "fork worker"
+    assert len(fork_node.children) == 1
+    call = fork_node.children[0]
+    assert call.call.port == "echo"
+    assert call.trace_id == fork_node.trace_id
+    assert call.parent_span_id == fork_node.span_id
+
+
+# ----------------------------------------------------------------------
+# Chrome trace export
+# ----------------------------------------------------------------------
+def test_chrome_trace_document_shape(tmp_path):
+    events = fig31_events()
+    document = to_chrome_trace(events)
+    assert document["displayTimeUnit"] == "ms"
+    slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+    metadata = [e for e in document["traceEvents"] if e["ph"] == "M"]
+    # 40 complete calls × 6 phases, one process_name per stream.
+    assert len(slices) == 40 * len(PHASES)
+    assert len(metadata) == 2
+    assert all(entry["name"] == "process_name" for entry in metadata)
+    for entry in slices:
+        assert set(entry) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid", "args"}
+        assert entry["cat"] in PHASES
+        assert entry["ts"] >= 0 and entry["dur"] >= 0
+        assert entry["args"]["span_id"] is not None
+    # Slices on one row (pid, tid) never overlap: phases are consecutive.
+    rows = {}
+    for entry in slices:
+        rows.setdefault((entry["pid"], entry["tid"]), []).append(entry)
+    for row in rows.values():
+        row.sort(key=lambda entry: entry["ts"])
+        for before, after in zip(row, row[1:]):
+            assert before["ts"] + before["dur"] <= after["ts"] + TOLERANCE
+
+    # write_chrome_trace emits the same document as parseable JSON.
+    path = tmp_path / "trace.chrome.json"
+    written = write_chrome_trace(events, str(path))
+    assert written == len(slices)
+    parsed = json.loads(path.read_text())
+    assert parsed["traceEvents"] == json.loads(json.dumps(document["traceEvents"]))
+
+
+def test_incomplete_spans_are_partial_not_wrong():
+    """A trace cut off mid-run yields incomplete spans that the aggregate
+    excludes instead of miscounting."""
+    events = fig31_events()
+    # Cut the trace right after the first packet goes on the wire.
+    first_packet = next(
+        index for index, event in enumerate(events)
+        if event.type == "stream.packet_sent"
+    )
+    spans = build_spans(events[: first_packet + 1])
+    assert spans, "calls were buffered before the first packet"
+    assert all(not span.complete for span in spans)
+    assert all(span.end_to_end is None for span in spans)
+    report = aggregate_critical_path(spans)
+    assert report["complete_calls"] == 0
+    assert report["slowest_call"] is None

@@ -2,7 +2,10 @@
 
 import json
 
+import pytest
+
 from repro.obs import Tracer
+from repro.obs.trace import load_jsonl
 from repro.sim import Environment
 
 
@@ -69,6 +72,58 @@ def test_export_jsonl_round_trip(traced_env, tmp_path):
     assert records[0]["bytes"] == 42
     assert records[0]["t"] == 0.0
     assert "object object" in records[1]["obj"]
+
+
+def test_load_jsonl_round_trips_exported_events(traced_env, tmp_path):
+    env = traced_env
+    tracer = env.tracer
+
+    def script():
+        tracer.emit("message.sent", src="a", dst="b", bytes=10, payload="X")
+        yield env.timeout(2.5)
+        tracer.emit("custom.note", detail={"nested": [1, 2]})
+
+    env.process(script())
+    env.run()
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(str(path))
+
+    loaded = load_jsonl(str(path))
+    assert [(e.time, e.type, e.fields) for e in loaded] == [
+        (e.time, e.type, e.fields) for e in tracer.events
+    ]
+    # Blank lines (e.g. from concatenated traces) are skipped.
+    path.write_text(path.read_text() + "\n\n")
+    assert len(load_jsonl(str(path))) == len(loaded)
+
+
+def test_ring_buffer_keeps_most_recent_events_and_counts_drops():
+    env = Environment()
+    tracer = Tracer.install(env, max_events=3)
+    for index in range(5):
+        tracer.emit("tick", index=index)
+    assert [event.fields["index"] for event in tracer.events] == [2, 3, 4]
+    assert tracer.dropped_events == 2
+    # events_of / count operate on what's retained.
+    assert tracer.count("tick") == 3
+    # Metrics aggregation is unaffected by eviction.
+    tracer.emit("message.sent", src="a", dst="b", bytes=1, payload="X")
+    assert tracer.metrics.total("net.messages_sent") == 1
+
+
+def test_ring_buffer_unused_when_not_requested(traced_env):
+    tracer = traced_env.tracer
+    assert tracer.max_events is None
+    assert isinstance(tracer.events, list)
+    assert tracer.dropped_events == 0
+
+
+def test_ring_buffer_rejects_non_positive_sizes():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Tracer(env, max_events=0)
+    with pytest.raises(ValueError):
+        Tracer(env, max_events=-5)
 
 
 def test_events_of_and_count(traced_env):
