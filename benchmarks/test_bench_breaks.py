@@ -11,9 +11,8 @@ sweeping the retransmission budget; plus fail-fast latency on an already
 broken stream.
 """
 
-from dataclasses import replace
 
-from repro.core import Failure, Unavailable
+from repro.core import Unavailable
 from repro.entities import ArgusSystem
 from repro.net import schedule_crash, schedule_partition
 from repro.streams import StreamConfig

@@ -14,7 +14,7 @@ it).
 """
 
 from repro.concurrency import PromiseQueue, critical_section
-from repro.core import Signal, Unavailable
+from repro.core import Signal
 from repro.entities import ArgusSystem
 from repro.sim import Interrupt
 

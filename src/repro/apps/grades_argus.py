@@ -10,7 +10,7 @@ the Python transcriptions in :mod:`repro.apps.grades`.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.entities.system import ArgusSystem
 from repro.lang.interp import Interpreter, load_module

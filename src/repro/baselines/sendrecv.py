@@ -17,7 +17,7 @@ supported so the baseline can genuinely match stream throughput.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 from repro.net.message import Message
 from repro.net.network import Network, Node

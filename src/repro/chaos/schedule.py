@@ -1,0 +1,218 @@
+"""The chaos schedule: a serializable description of one run's faults.
+
+A :class:`ChaosSchedule` is the *entire* adversarial input of a campaign
+run: timed node crashes/recoveries and partition/heal windows (the
+scheduled-fault layer of :mod:`repro.net.faults`) plus an optional
+link-level fault profile (per-message drop / delay / duplication /
+reordering).  It is plain data — generated from a seed, JSON round-tripped
+into seed-corpus files, minimized op-by-op by the shrinker — and is applied
+to a freshly built world with :meth:`ChaosSchedule.apply`.
+
+Generation draws only from the ``"chaos.plan"`` named stream and runtime
+link faults draw only from ``"chaos.link"``, so fault randomness never
+perturbs workload or jitter randomness (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.net.faults import FaultPlan, LinkFaultInjector, LinkFaultProfile
+from repro.net.network import Network
+from repro.sim.rng import RngRegistry
+
+__all__ = ["FaultOp", "ChaosSchedule", "INTENSITIES"]
+
+
+class FaultOp:
+    """One scheduled fault: a crash/recovery or a partition/heal window.
+
+    ``until`` is the recovery/heal time, or None for a fault that persists
+    past the end of the run (the paper's permanent-trouble case: outcomes
+    must still map to ``unavailable``/``failure``).
+    """
+
+    __slots__ = ("kind", "targets", "at", "until")
+
+    KINDS = ("crash", "partition")
+
+    def __init__(
+        self, kind: str, targets: Sequence[str], at: float, until: Optional[float]
+    ) -> None:
+        if kind not in self.KINDS:
+            raise ValueError("unknown fault kind %r" % (kind,))
+        expected = 1 if kind == "crash" else 2
+        if len(targets) != expected:
+            raise ValueError("%s takes %d target(s), got %r" % (kind, expected, targets))
+        if until is not None and until <= at:
+            raise ValueError("until must be after at")
+        self.kind = kind
+        self.targets = tuple(targets)
+        self.at = float(at)
+        self.until = None if until is None else float(until)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "targets": list(self.targets),
+            "at": self.at,
+            "until": self.until,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "FaultOp":
+        return cls(record["kind"], record["targets"], record["at"], record.get("until"))
+
+    def __repr__(self) -> str:
+        window = "t=%g" % self.at if self.until is None else "t=%g..%g" % (self.at, self.until)
+        return "<FaultOp %s %s %s>" % (self.kind, "+".join(self.targets), window)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FaultOp) and self.to_dict() == other.to_dict()
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.targets, self.at, self.until))
+
+
+#: Generation presets: how adversarial a generated schedule is.
+INTENSITIES: Dict[str, Dict[str, Any]] = {
+    # A background-noise tier: occasional faults, mild link chaos.
+    "light": {
+        "min_faults": 0, "max_faults": 2,
+        "min_outage": 2.0, "max_outage": 10.0, "forever_rate": 0.1,
+        "link_rate": 0.5, "max_drop": 0.1, "max_dup": 0.05,
+        "max_delay_rate": 0.1, "max_reorder": 0.05,
+    },
+    # The campaign default: most runs see several faults plus link chaos.
+    "default": {
+        "min_faults": 0, "max_faults": 5,
+        "min_outage": 2.0, "max_outage": 18.0, "forever_rate": 0.2,
+        "link_rate": 0.7, "max_drop": 0.25, "max_dup": 0.15,
+        "max_delay_rate": 0.2, "max_reorder": 0.15,
+    },
+    # The nightly deep tier: dense fault windows, hostile links.
+    "heavy": {
+        "min_faults": 2, "max_faults": 8,
+        "min_outage": 1.0, "max_outage": 25.0, "forever_rate": 0.25,
+        "link_rate": 0.9, "max_drop": 0.4, "max_dup": 0.25,
+        "max_delay_rate": 0.3, "max_reorder": 0.25,
+    },
+}
+
+
+class ChaosSchedule:
+    """A full fault schedule for one run: timed ops + link-level chaos."""
+
+    def __init__(
+        self,
+        ops: Optional[List[FaultOp]] = None,
+        link: Optional[LinkFaultProfile] = None,
+    ) -> None:
+        self.ops: List[FaultOp] = list(ops or [])
+        self.link = link
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        registry: RngRegistry,
+        nodes: Sequence[str],
+        crashable: Sequence[str],
+        horizon: float,
+        intensity: str = "default",
+    ) -> "ChaosSchedule":
+        """Draw a random schedule from the registry's ``chaos.plan`` stream.
+
+        *nodes* are all node names (partition candidates); *crashable*
+        restricts crashes (the driving client must stay up so liveness is
+        assertable); *horizon* bounds fault start times to the window the
+        workload is actually active in.
+        """
+        try:
+            params = INTENSITIES[intensity]
+        except KeyError:
+            raise ValueError(
+                "unknown intensity %r (known: %s)"
+                % (intensity, ", ".join(sorted(INTENSITIES)))
+            ) from None
+        if len(nodes) < 2:
+            raise ValueError("need at least two nodes to generate chaos")
+        rng = registry.stream("chaos.plan")
+        ops: List[FaultOp] = []
+        for _ in range(rng.randint(params["min_faults"], params["max_faults"])):
+            at = round(rng.uniform(0.5, horizon * 0.8), 3)
+            outage = rng.uniform(params["min_outage"], params["max_outage"])
+            until = None if rng.random() < params["forever_rate"] else round(at + outage, 3)
+            if crashable and rng.random() < 0.5:
+                ops.append(FaultOp("crash", [rng.choice(list(crashable))], at, until))
+            else:
+                a, b = rng.sample(list(nodes), 2)
+                ops.append(FaultOp("partition", [a, b], at, until))
+        link = None
+        if rng.random() < params["link_rate"]:
+            link = LinkFaultProfile(
+                drop_rate=round(rng.uniform(0.0, params["max_drop"]), 3),
+                dup_rate=round(rng.uniform(0.0, params["max_dup"]), 3),
+                delay_rate=round(rng.uniform(0.0, params["max_delay_rate"]), 3),
+                reorder_rate=round(rng.uniform(0.0, params["max_reorder"]), 3),
+                delay_min=0.5,
+                delay_max=round(rng.uniform(1.0, 8.0), 3),
+            )
+            if not link.active:
+                link = None
+        return cls(ops=ops, link=link)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply(self, network: Network, registry: RngRegistry) -> None:
+        """Install every op (and the link profile) onto *network*.
+
+        Node names are validated eagerly by the underlying
+        :class:`~repro.net.faults.FaultPlan`; link-level draws come from
+        the registry's ``chaos.link`` stream.
+        """
+        plan = FaultPlan()
+        for op in self.ops:
+            if op.kind == "crash":
+                plan.crash(op.targets[0], at=op.at, recover_at=op.until)
+            else:
+                plan.partition(op.targets[0], op.targets[1], at=op.at, heal_at=op.until)
+        plan.apply(network)
+        if self.link is not None and self.link.active:
+            network.install_link_faults(
+                LinkFaultInjector(registry.stream("chaos.link"), default=self.link)
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ops": [op.to_dict() for op in self.ops],
+            "link": None if self.link is None else self.link.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "ChaosSchedule":
+        link = record.get("link")
+        return cls(
+            ops=[FaultOp.from_dict(op) for op in record.get("ops", [])],
+            link=None if link is None else LinkFaultProfile.from_dict(link),
+        )
+
+    def canonical_json(self) -> str:
+        """A stable, byte-reproducible JSON rendering (for digests/files)."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def __len__(self) -> int:
+        return len(self.ops) + (1 if self.link is not None else 0)
+
+    def __repr__(self) -> str:
+        return "<ChaosSchedule ops=%d link=%r>" % (len(self.ops), self.link)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ChaosSchedule) and self.to_dict() == other.to_dict()

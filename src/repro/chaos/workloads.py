@@ -1,0 +1,536 @@
+"""Chaos-campaign workloads: small worlds with checkable fault-free answers.
+
+Each workload builds a guardian topology, drives a client activity through
+it, and knows what every call *should* produce in a fault-free run — so the
+campaign oracles can check that whatever chaos did, each claimed promise
+resolved either to the fault-free value or to a legal
+``unavailable``/``failure`` (the paper's exception vocabulary for broken
+streams).
+
+The roster mirrors the repository's three examples plus one new workload:
+
+* ``echo``     — the fault-tolerance example's shape: batched stream calls
+  to one echo server, claimed in order;
+* ``pipeline`` — the grades-pipeline shape: nested calls, client → mid
+  guardian whose handler RPCs a db guardian;
+* ``bulkload`` — the kv-bulkload shape: send-heavy (no reply data), flush +
+  synch, then verification reads;
+* ``kv``       — NEW: a multi-guardian sharded KV store.  Each key receives
+  several ``add`` deltas of ``4**j``, so a later read is a base-4 ledger of
+  execution counts: digit *j* is exactly how many times add *j* executed.
+  Any digit > 1 is a duplicated execution, a set bit for a never-sent call
+  is a phantom, and a cleared bit for an acknowledged call is a lost write
+  — an end-to-end exactly-once oracle that needs no access to transport
+  internals.
+
+Every driver records outcomes as ``(key, tag, value)`` triples where *tag*
+is ``"ok"`` or the Argus condition name (``unavailable``, ``failure``, a
+signal name, ``exception_reply``).  Drivers always run to completion; they
+never let an exception escape, so liveness is assertable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.core.exceptions import ArgusError
+from repro.entities.system import ArgusSystem
+from repro.streams.config import StreamConfig
+from repro.types.signatures import INT, STRING, HandlerType
+
+__all__ = ["Workload", "WORKLOADS", "create_workload"]
+
+Outcome = Tuple[str, str, Any]
+
+#: Transport tuning shared by campaign workloads: small batches and an
+#: aggressive retransmission budget, so breaks are detected (and streams
+#: reincarnated) quickly and a hostile schedule stays cheap to simulate.
+CHAOS_STREAM_CONFIG = StreamConfig(
+    batch_size=4,
+    reply_batch_size=4,
+    max_buffer_delay=1.0,
+    reply_max_delay=1.0,
+    rto=5.0,
+    max_retries=2,
+    ack_delay=2.0,
+    reply_ack_delay=6.0,
+    auto_restart=True,
+)
+
+
+def _claim(promise):
+    """``tag, value = yield from _claim(p)`` — claim, mapping exceptions to
+    their condition names."""
+    try:
+        value = yield promise.claim()
+    except ArgusError as exc:
+        return (exc.condition, None)
+    return ("ok", value)
+
+
+def _await(event):
+    """Like :func:`_claim` for a plain yieldable event (RPC, synch)."""
+    try:
+        value = yield event
+    except ArgusError as exc:
+        return (exc.condition, None)
+    return ("ok", value)
+
+
+class Workload:
+    """Base class: a buildable world plus a driver with known answers."""
+
+    #: Registry key and default display name.
+    name = "workload"
+    #: How long (simulated) the driver is typically active: fault start
+    #: times are generated inside this window.
+    horizon = 50.0
+    #: Signal conditions a driver may legitimately report under faults.
+    allowed_signals: Tuple[str, ...] = ()
+    #: The guardian whose node must never crash (it drives the run).
+    client = "client"
+
+    def stream_config(self) -> StreamConfig:
+        return CHAOS_STREAM_CONFIG
+
+    def network_params(self) -> Dict[str, float]:
+        """Network model parameters for this workload's world."""
+        return {"latency": 1.0, "kernel_overhead": 0.1, "jitter": 0.5}
+
+    # -- to implement ---------------------------------------------------
+    def build(self, system: ArgusSystem) -> None:
+        raise NotImplementedError
+
+    def driver(self, ctx):  # a generator: returns List[Outcome]
+        raise NotImplementedError
+
+    def expected(self) -> Dict[str, Any]:
+        """Fault-free value per outcome key (keys absent here are
+        tag-checked only)."""
+        return {}
+
+    # -- topology helpers -----------------------------------------------
+    def nodes(self, system: ArgusSystem) -> List[str]:
+        """All node names of the built world (partition candidates)."""
+        return [node.name for node in system.network.nodes()]
+
+    def crashable(self, system: ArgusSystem) -> List[str]:
+        """Nodes chaos may crash: everything but the driving client."""
+        protected = "node:%s" % self.client
+        return [name for name in self.nodes(system) if name != protected]
+
+    # -- outcome checking ------------------------------------------------
+    def legal_tags(self) -> frozenset:
+        return frozenset(
+            ("ok", "unavailable", "failure", "exception_reply") + self.allowed_signals
+        )
+
+    def check_outcomes(self, outcomes: List[Outcome]) -> List[str]:
+        """Workload-specific end-to-end checks; returns problem strings.
+
+        The default: every tag is legal, and every ``ok`` outcome whose key
+        has a fault-free expectation matches it exactly.
+        """
+        problems: List[str] = []
+        legal = self.legal_tags()
+        expected = self.expected()
+        for key, tag, value in outcomes:
+            if tag not in legal:
+                problems.append("illegal outcome tag %r for %s" % (tag, key))
+            elif tag == "ok" and key in expected and value != expected[key]:
+                problems.append(
+                    "%s claimed ok with %r; fault-free value is %r"
+                    % (key, value, expected[key])
+                )
+        return problems
+
+
+# ----------------------------------------------------------------------
+# echo — batched stream calls against one server
+# ----------------------------------------------------------------------
+
+_ECHO = HandlerType(args=[INT], returns=[INT])
+
+
+class EchoWorkload(Workload):
+    name = "echo"
+    horizon = 45.0
+    n_batches = 5
+    batch = 3
+
+    def build(self, system: ArgusSystem) -> None:
+        server = system.create_guardian("server")
+        server.state["executed"] = []
+
+        def echo(ctx, x):
+            ctx.guardian.state["executed"].append(x)
+            yield ctx.compute(0.05)
+            return x
+
+        server.create_handler("echo", _ECHO, echo)
+        system.create_guardian(self.client)
+
+    def expected(self) -> Dict[str, Any]:
+        return {
+            "call%02d" % i: i for i in range(self.n_batches * self.batch)
+        }
+
+    def driver(self, ctx):
+        echo = ctx.lookup("server", "echo")
+        outcomes: List[Outcome] = []
+        index = 0
+        for _ in range(self.n_batches):
+            yield ctx.sleep(2.0)
+            batch = []
+            for _ in range(self.batch):
+                key = "call%02d" % index
+                try:
+                    batch.append((key, echo.stream(index)))
+                except ArgusError as exc:
+                    outcomes.append((key, exc.condition, None))
+                index += 1
+            try:
+                echo.flush()
+            except ArgusError:
+                pass  # broken mid-batch: the claims below still resolve
+            for key, promise in batch:
+                tag, value = yield from _claim(promise)
+                outcomes.append((key, tag, value))
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# pipeline — nested calls: client -> mid -> db
+# ----------------------------------------------------------------------
+
+_DOUBLE = HandlerType(args=[INT], returns=[INT])
+_RECORD = HandlerType(args=[INT], returns=[INT])
+
+
+class PipelineWorkload(Workload):
+    name = "pipeline"
+    horizon = 55.0
+    n_calls = 10
+
+    def build(self, system: ArgusSystem) -> None:
+        db = system.create_guardian("db")
+
+        def double(ctx, x):
+            yield ctx.compute(0.05)
+            return 2 * x
+
+        db.create_handler("double", _DOUBLE, double)
+        mid = system.create_guardian("mid")
+
+        def record(ctx, x):
+            doubled = yield ctx.lookup("db", "double").call(x)
+            return doubled + 1
+
+        mid.create_handler("record", _RECORD, record)
+        system.create_guardian(self.client)
+
+    def expected(self) -> Dict[str, Any]:
+        return {"record%02d" % i: 2 * i + 1 for i in range(self.n_calls)}
+
+    def driver(self, ctx):
+        record = ctx.lookup("mid", "record")
+        outcomes: List[Outcome] = []
+        for i in range(self.n_calls):
+            yield ctx.sleep(3.0)
+            key = "record%02d" % i
+            try:
+                promise = record.stream(i)
+            except ArgusError as exc:
+                outcomes.append((key, exc.condition, None))
+                continue
+            try:
+                record.flush()
+            except ArgusError:
+                pass
+            tag, value = yield from _claim(promise)
+            outcomes.append((key, tag, value))
+        return outcomes
+
+
+# ----------------------------------------------------------------------
+# bulkload — send-heavy: puts as sends, flush + synch, verification gets
+# ----------------------------------------------------------------------
+
+_PUT = HandlerType(args=[STRING, INT])  # no results: travels as a send
+_GET = HandlerType(args=[STRING], returns=[INT], signals={"missing": []})
+
+
+class BulkloadWorkload(Workload):
+    name = "bulkload"
+    horizon = 45.0
+    shards = ("shard_a", "shard_b")
+    keys_per_shard = 6
+    allowed_signals = ("missing",)
+
+    @staticmethod
+    def _value(shard: str, i: int) -> int:
+        return i * 7 + (1 if shard.endswith("a") else 2)
+
+    def build(self, system: ArgusSystem) -> None:
+        for shard in self.shards:
+            guardian = system.create_guardian(shard)
+            guardian.state["data"] = {}
+
+            def put(ctx, key, value):
+                yield ctx.compute(0.02)
+                ctx.guardian.state["data"][key] = value
+                return None
+
+            def get(ctx, key):
+                yield ctx.compute(0.02)
+                data = ctx.guardian.state["data"]
+                if key not in data:
+                    from repro.core.exceptions import Signal
+
+                    raise Signal("missing")
+                return data[key]
+
+            guardian.create_handler("put", _PUT, put)
+            guardian.create_handler("get", _GET, get)
+        system.create_guardian(self.client)
+
+    def expected(self) -> Dict[str, Any]:
+        report: Dict[str, Any] = {}
+        for shard in self.shards:
+            for i in range(self.keys_per_shard):
+                report["get:%s:key%d" % (shard, i)] = self._value(shard, i)
+        return report
+
+    def driver(self, ctx):
+        outcomes: List[Outcome] = []
+        for shard in self.shards:
+            put = ctx.lookup(shard, "put")
+            refused = 0
+            for i in range(self.keys_per_shard):
+                try:
+                    put.send("key%d" % i, self._value(shard, i))
+                except ArgusError:
+                    refused += 1
+            try:
+                put.flush()
+            except ArgusError:
+                pass
+            if refused:
+                outcomes.append(("put:%s" % shard, "unavailable", None))
+            tag, _ = yield from _await(put.synch())
+            outcomes.append(("synch:%s" % shard, tag, None))
+            yield ctx.sleep(2.0)
+        yield ctx.sleep(4.0)
+        for shard in self.shards:
+            get = ctx.lookup(shard, "get")
+            for i in range(self.keys_per_shard):
+                key = "get:%s:key%d" % (shard, i)
+                try:
+                    promise = get.stream("key%d" % i)
+                except ArgusError as exc:
+                    outcomes.append((key, exc.condition, None))
+                    continue
+                try:
+                    get.flush()
+                except ArgusError:
+                    pass
+                tag, value = yield from _claim(promise)
+                outcomes.append((key, tag, value))
+        return outcomes
+
+    def check_outcomes(self, outcomes: List[Outcome]) -> List[str]:
+        problems = super().check_outcomes(outcomes)
+        # Sharpened read-your-writes check: once a shard's synch reported
+        # "ok", every put on it completed normally, so a later get of its
+        # keys must never signal "missing" (guardian state survives node
+        # crashes; only transport state is volatile).
+        synched_ok = {
+            key.split(":", 1)[1]
+            for key, tag, _ in outcomes
+            if key.startswith("synch:") and tag == "ok"
+        }
+        put_trouble = {
+            key.split(":", 1)[1]
+            for key, tag, _ in outcomes
+            if key.startswith("put:") and tag != "ok"
+        }
+        for key, tag, _ in outcomes:
+            if not key.startswith("get:") or tag != "missing":
+                continue
+            shard = key.split(":")[1]
+            if shard in synched_ok and shard not in put_trouble:
+                problems.append(
+                    "%s signalled missing although synch:%s reported ok" % (key, shard)
+                )
+        return problems
+
+
+# ----------------------------------------------------------------------
+# kv — NEW: multi-guardian sharded store with a base-4 execution ledger
+# ----------------------------------------------------------------------
+
+_ADD = HandlerType(args=[STRING, INT], returns=[INT])
+_GETV = HandlerType(args=[STRING], returns=[INT], signals={"missing": []})
+
+
+class KvWorkload(Workload):
+    """Sharded adds with per-call ledger deltas of ``4**j``.
+
+    A read's base-4 digits are execution counts per add round, making
+    duplicated, phantom and lost executions distinguishable end-to-end
+    (see module docstring).
+    """
+
+    name = "kv"
+    horizon = 60.0
+    n_shards = 3
+    n_keys = 6
+    rounds = 4
+    allowed_signals = ("missing",)
+
+    def shard_of(self, key_index: int) -> str:
+        return "shard%d" % (key_index % self.n_shards)
+
+    def build(self, system: ArgusSystem) -> None:
+        for s in range(self.n_shards):
+            guardian = system.create_guardian("shard%d" % s)
+            guardian.state["data"] = {}
+
+            def add(ctx, key, delta):
+                yield ctx.compute(0.02)
+                data = ctx.guardian.state["data"]
+                data[key] = data.get(key, 0) + delta
+                return data[key]
+
+            def get(ctx, key):
+                yield ctx.compute(0.02)
+                data = ctx.guardian.state["data"]
+                if key not in data:
+                    from repro.core.exceptions import Signal
+
+                    raise Signal("missing")
+                return data[key]
+
+            guardian.create_handler("add", _ADD, add)
+            guardian.create_handler("get", _GETV, get)
+        system.create_guardian(self.client)
+
+    def expected(self) -> Dict[str, Any]:
+        full = sum(4 ** j for j in range(self.rounds))  # every digit 1
+        return {"get:key%d" % k: full for k in range(self.n_keys)}
+
+    def driver(self, ctx):
+        outcomes: List[Outcome] = []
+        handles = {
+            "shard%d" % s: ctx.lookup("shard%d" % s, "add")
+            for s in range(self.n_shards)
+        }
+        # Key visit order comes from the workload's own named stream —
+        # fault streams never perturb it (and vice versa).
+        order_rng = ctx.system.rng.stream("workload.kv")
+        for j in range(self.rounds):
+            yield ctx.sleep(2.5)
+            keys = list(range(self.n_keys))
+            order_rng.shuffle(keys)
+            batch = []
+            for k in keys:
+                key = "add:key%d:r%d" % (k, j)
+                handle = handles[self.shard_of(k)]
+                try:
+                    batch.append((key, handle.stream("key%d" % k, 4 ** j)))
+                except ArgusError as exc:
+                    outcomes.append((key, exc.condition, None))
+            for handle in handles.values():
+                try:
+                    handle.flush()
+                except ArgusError:
+                    pass
+            for key, promise in batch:
+                tag, value = yield from _claim(promise)
+                outcomes.append((key, tag, value))
+        yield ctx.sleep(5.0)
+        for k in range(self.n_keys):
+            key = "get:key%d" % k
+            get = ctx.lookup(self.shard_of(k), "get")
+            try:
+                promise = get.stream("key%d" % k)
+            except ArgusError as exc:
+                outcomes.append((key, exc.condition, None))
+                continue
+            try:
+                get.flush()
+            except ArgusError:
+                pass
+            tag, value = yield from _claim(promise)
+            outcomes.append((key, tag, value))
+        return outcomes
+
+    # -- the ledger oracle ----------------------------------------------
+    def _digits(self, value: int) -> List[int]:
+        digits = []
+        for _ in range(self.rounds):
+            digits.append(value % 4)
+            value //= 4
+        digits.append(value)  # overflow bucket: anything past the rounds
+        return digits
+
+    def check_outcomes(self, outcomes: List[Outcome]) -> List[str]:
+        problems: List[str] = []
+        legal = self.legal_tags()
+        adds: Dict[str, Dict[int, str]] = {}  # key -> round -> tag
+        for key, tag, value in outcomes:
+            if tag not in legal:
+                problems.append("illegal outcome tag %r for %s" % (tag, key))
+            if key.startswith("add:"):
+                _, keyname, roundname = key.split(":")
+                adds.setdefault(keyname, {})[int(roundname[1:])] = tag
+        for key, tag, value in outcomes:
+            if not key.startswith("get:"):
+                continue
+            keyname = key.split(":", 1)[1]
+            tags = adds.get(keyname, {})
+            if tag == "missing":
+                if any(t == "ok" for t in tags.values()):
+                    problems.append(
+                        "%s signalled missing although an add reported ok" % key
+                    )
+                continue
+            if tag != "ok":
+                continue
+            digits = self._digits(value)
+            if digits[-1] or any(d > 1 for d in digits[:-1]):
+                problems.append(
+                    "%s ledger %r implies a duplicated add execution" % (key, value)
+                )
+                continue
+            for j in range(self.rounds):
+                add_tag = tags.get(j)
+                executed = bool(digits[j])
+                if add_tag == "ok" and not executed:
+                    problems.append(
+                        "%s ledger %r lost add r%d that reported ok" % (key, value, j)
+                    )
+                # A call refused before buffering never reached the wire:
+                # its delta must not appear in the ledger.
+                elif add_tag not in (None, "ok", "unavailable", "failure") and executed:
+                    problems.append(
+                        "%s ledger %r contains refused add r%d" % (key, value, j)
+                    )
+        return problems
+
+
+WORKLOADS: Dict[str, Any] = {
+    workload.name: workload
+    for workload in (EchoWorkload, PipelineWorkload, BulkloadWorkload, KvWorkload)
+}
+
+
+def create_workload(name: str) -> Workload:
+    """A fresh instance of the named workload (KeyError lists the roster)."""
+    try:
+        factory = WORKLOADS[name]
+    except KeyError:
+        raise KeyError(
+            "no workload named %r (known: %s)" % (name, ", ".join(sorted(WORKLOADS)))
+        ) from None
+    return factory()

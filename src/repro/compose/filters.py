@@ -12,7 +12,7 @@ computation."
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Tuple
+from typing import Any, Callable
 
 __all__ = ["SKIP", "Filter", "identity_filter", "make_filter"]
 

@@ -18,7 +18,7 @@ can assert they agree while benchmarks compare their costs.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.compose.filters import SKIP, Filter, make_filter
 from repro.concurrency.promise_queue import PromiseQueue

@@ -29,7 +29,7 @@ processes") — add one arm per work item with :meth:`arm_each`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, List
 
 from repro.sim.events import Event
 from repro.sim.process import Interrupt, Process, ProcessKilled

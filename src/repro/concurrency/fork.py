@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.core.exceptions import ArgusError, Failure, Unavailable
+from repro.core.exceptions import ArgusError
 from repro.core.outcome import Outcome
 from repro.core.promise import Promise
 from repro.obs.trace import mint_span

@@ -14,7 +14,7 @@ purely through promise readiness.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, List, Optional
 
 from repro.core.outcome import Outcome
 from repro.core.promise import Promise

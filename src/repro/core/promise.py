@@ -22,7 +22,6 @@ from typing import Any, Callable, List, Optional
 
 from repro.core.exceptions import (
     ArgusError,
-    Failure,
     PromiseError,
     PromiseNotReady,
     Signal,

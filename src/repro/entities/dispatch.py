@@ -22,7 +22,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque, Optional, Tuple
 
-from repro.core.exceptions import ArgusError, Failure, Signal, Unavailable
+from repro.core.exceptions import Failure, Signal, Unavailable
 from repro.core.outcome import Outcome
 from repro.encoding.errors import DecodeError
 from repro.encoding.transmit import ArgsCodec, OutcomeCodec

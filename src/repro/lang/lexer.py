@@ -8,7 +8,7 @@ selector (``pt$claim``), and keywords are unreserved-looking lowercase words
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import List, Optional
 
 from repro.lang.errors import LexError, SourcePosition
 

@@ -8,7 +8,7 @@ and for error reporting.
 
 from __future__ import annotations
 
-from typing import Any, List
+from typing import List
 
 from repro.lang import ast as A
 from repro.types.signatures import (

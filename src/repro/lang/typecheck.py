@@ -40,7 +40,6 @@ from repro.types.signatures import (
     ArrayOf,
     HandlerType,
     IntType,
-    NullType,
     PromiseType,
     RealType,
     RecordOf,

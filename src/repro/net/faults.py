@@ -1,20 +1,42 @@
-"""Fault-injection helpers: scheduled crashes, recoveries and partitions.
+"""Fault-injection helpers: crashes, partitions, and link-level chaos.
 
 The paper's stream semantics are defined largely by their behaviour under
 "problems such as node crashes and network partitions"; these helpers script
-such problems deterministically so that tests and the E9 benchmark can
-exercise break detection and the ``unavailable``/``failure`` mapping.
+such problems deterministically so that tests, the E9 benchmark and the
+chaos-campaign engine (:mod:`repro.chaos`) can exercise break detection and
+the ``unavailable``/``failure`` mapping.
+
+Two layers of fault model live here:
+
+* **scheduled faults** (:func:`schedule_crash`, :func:`schedule_partition`,
+  :class:`FaultPlan`): timed node crashes/recoveries and partition/heal
+  windows, installed as simulation processes;
+* **link-level chaos** (:class:`LinkFaultProfile`,
+  :class:`LinkFaultInjector`): per-message drop / delay / duplication /
+  reordering applied inside :meth:`Network.send`, the adversarial traffic
+  the transport's acknowledgement + retransmission + dedup machinery must
+  absorb while preserving exactly-once FIFO delivery.
+
+All randomness is routed through :mod:`repro.sim.rng` named streams (pass
+an :class:`~repro.sim.rng.RngRegistry`), so fault draws never perturb
+workload or jitter draws and campaigns replay bit-identically from a seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.net.network import Network
-from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
 
-__all__ = ["FaultPlan", "schedule_crash", "schedule_partition"]
+__all__ = [
+    "FaultPlan",
+    "LinkFaultInjector",
+    "LinkFaultProfile",
+    "schedule_crash",
+    "schedule_partition",
+]
 
 
 def _require_nodes(network: Network, *names: str) -> None:
@@ -126,7 +148,7 @@ class FaultPlan:
     @classmethod
     def random(
         cls,
-        rng: random.Random,
+        rng: Union[random.Random, RngRegistry],
         nodes: Sequence[str],
         horizon: float,
         max_faults: int = 4,
@@ -136,8 +158,14 @@ class FaultPlan:
     ) -> "FaultPlan":
         """A seeded random schedule of crashes and partitions.
 
-        Used by the property-style stress tests: pass a seeded
-        ``random.Random`` so identical seeds regenerate identical plans.
+        Used by the property-style stress tests and the chaos engine: all
+        draws come from one dedicated random stream, so identical seeds
+        regenerate identical plans on every platform and generating a plan
+        never perturbs any other stream's draws.  Pass an
+        :class:`~repro.sim.rng.RngRegistry` to draw from its
+        ``"faults.plan"`` stream (preferred), or a pre-seeded
+        ``random.Random`` to use directly.
+
         *crashable* restricts which nodes may crash (e.g. keep the driving
         client alive so liveness stays assertable); partitions may involve
         any pair from *nodes*.  Every fault gets a recovery/heal time, with
@@ -146,6 +174,8 @@ class FaultPlan:
         """
         if len(nodes) < 2:
             raise ValueError("need at least two nodes to build a fault plan")
+        if isinstance(rng, RngRegistry):
+            rng = rng.stream("faults.plan")
         plan = cls()
         crash_pool = list(crashable if crashable is not None else nodes)
         for _ in range(rng.randint(0, max_faults)):
@@ -158,3 +188,164 @@ class FaultPlan:
                 a, b = rng.sample(list(nodes), 2)
                 plan.partition(a, b, at=at, heal_at=until)
         return plan
+
+
+# ----------------------------------------------------------------------
+# Link-level chaos: per-message drop / delay / duplication / reordering
+# ----------------------------------------------------------------------
+
+class LinkFaultProfile:
+    """Per-message fault rates for one link (or every link).
+
+    * ``drop_rate`` — probability a message silently disappears;
+    * ``delay_rate`` / ``delay_min`` / ``delay_max`` — probability a
+      message is held up by a uniform extra delay, *preserving* link FIFO
+      order (congestion: everything behind it queues too);
+    * ``reorder_rate`` — probability a message takes a slow independent
+      path: it gets the extra delay *without* the FIFO clamp, so later
+      messages can overtake it (true reordering on the wire);
+    * ``dup_rate`` — probability a stray duplicate copy is also delivered,
+      after its own extra delay, unclamped.
+
+    The stream transport must absorb all of this: duplicates are detected
+    by sequence number, reordering is repaired by the receiver's
+    out-of-order buffer, drops by go-back-N retransmission.
+    """
+
+    __slots__ = (
+        "drop_rate", "dup_rate", "delay_rate", "reorder_rate",
+        "delay_min", "delay_max",
+    )
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        reorder_rate: float = 0.0,
+        delay_min: float = 0.5,
+        delay_max: float = 5.0,
+    ) -> None:
+        for name, rate in (
+            ("drop_rate", drop_rate), ("dup_rate", dup_rate),
+            ("delay_rate", delay_rate), ("reorder_rate", reorder_rate),
+        ):
+            if not 0.0 <= rate < 1.0:
+                raise ValueError("%s must be in [0, 1), got %r" % (name, rate))
+        if delay_min < 0 or delay_max < delay_min:
+            raise ValueError("need 0 <= delay_min <= delay_max")
+        self.drop_rate = drop_rate
+        self.dup_rate = dup_rate
+        self.delay_rate = delay_rate
+        self.reorder_rate = reorder_rate
+        self.delay_min = delay_min
+        self.delay_max = delay_max
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault can actually fire under this profile."""
+        return bool(
+            self.drop_rate or self.dup_rate or self.delay_rate or self.reorder_rate
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """JSON-ready representation (see :mod:`repro.chaos.schedule`)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    @classmethod
+    def from_dict(cls, record: Dict[str, Any]) -> "LinkFaultProfile":
+        """Inverse of :meth:`to_dict`; unknown keys are rejected."""
+        unknown = set(record) - set(cls.__slots__)
+        if unknown:
+            raise ValueError("unknown LinkFaultProfile fields: %s" % sorted(unknown))
+        return cls(**record)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            "%s=%r" % (name, getattr(self, name))
+            for name in self.__slots__
+            if getattr(self, name)
+        )
+        return "LinkFaultProfile(%s)" % parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LinkFaultProfile) and self.to_dict() == other.to_dict()
+
+
+#: Fast-path decision shared by every undisturbed message.
+_NORMAL = ((0.0, True),)
+
+
+class LinkFaultInjector:
+    """Applies a :class:`LinkFaultProfile` to every message a network sends.
+
+    Installed via :meth:`Network.install_link_faults`; consulted once per
+    remote message.  Per-link overrides (unordered node pairs) take
+    precedence over the default profile.  All draws come from the single
+    ``random.Random`` handed in — campaign code passes a dedicated
+    ``registry.stream("chaos.link")`` so link chaos is independent of every
+    other stochastic component.
+    """
+
+    #: Sentinel decision: the message is eaten by chaos.
+    DROP = ("drop",)
+
+    def __init__(
+        self,
+        rng: random.Random,
+        default: Optional[LinkFaultProfile] = None,
+        per_link: Optional[Dict[Tuple[str, str], LinkFaultProfile]] = None,
+    ) -> None:
+        self.rng = rng
+        self.default = default
+        self.per_link: Dict[Tuple[str, str], LinkFaultProfile] = {}
+        for (a, b), profile in (per_link or {}).items():
+            self.per_link[Network._pair(a, b)] = profile
+        #: Counters mirrored into NetworkStats by the send path.
+        self.decisions = 0
+        self.drops = 0
+        self.delays = 0
+        self.reorders = 0
+        self.duplicates = 0
+
+    def profile_for(self, src: str, dst: str) -> Optional[LinkFaultProfile]:
+        """The profile governing the (src, dst) link, or None."""
+        if self.per_link:
+            profile = self.per_link.get(Network._pair(src, dst))
+            if profile is not None:
+                return profile
+        return self.default
+
+    def decide(self, src: str, dst: str):
+        """One fault decision for one message.
+
+        Returns ``None`` (deliver normally — the overwhelmingly common
+        case), the drop sentinel, or a tuple of ``(extra_delay,
+        fifo_clamped)`` deliveries (more than one entry means duplication).
+        """
+        profile = self.profile_for(src, dst)
+        if profile is None or not profile.active:
+            return None
+        self.decisions += 1
+        rng = self.rng
+        if profile.drop_rate and rng.random() < profile.drop_rate:
+            self.drops += 1
+            return self.DROP
+        extra = 0.0
+        fifo = True
+        if profile.reorder_rate and rng.random() < profile.reorder_rate:
+            # A slow independent path: delayed and exempt from the FIFO
+            # clamp, so later traffic overtakes this message.
+            extra = rng.uniform(profile.delay_min, profile.delay_max)
+            fifo = False
+            self.reorders += 1
+        elif profile.delay_rate and rng.random() < profile.delay_rate:
+            extra = rng.uniform(profile.delay_min, profile.delay_max)
+            self.delays += 1
+        if profile.dup_rate and rng.random() < profile.dup_rate:
+            self.duplicates += 1
+            stray = rng.uniform(profile.delay_min, profile.delay_max)
+            return ((extra, fifo), (stray, False))
+        if extra == 0.0 and fifo:
+            return _NORMAL
+        return ((extra, fifo),)

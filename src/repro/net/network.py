@@ -17,7 +17,7 @@ and deduplication to provide the exactly-once ordered semantics of §2.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Set, Tuple
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.net.message import Message
 from repro.sim.events import Event
@@ -43,6 +43,8 @@ class NetworkStats:
         self.messages_dropped_loss = 0
         self.messages_dropped_partition = 0
         self.messages_dropped_crash = 0
+        self.messages_dropped_chaos = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0
         self.kernel_calls = 0
 
@@ -145,6 +147,10 @@ class Network:
         self.loss_rate = loss_rate
         self.rng = rng or RngRegistry(0)
         self.stats = NetworkStats()
+        #: Optional per-message chaos (drop/delay/dup/reorder); see
+        #: :class:`repro.net.faults.LinkFaultInjector`.  None keeps the
+        #: send path bit-identical to the fault-free simulator.
+        self.link_faults = None
         self._nodes: Dict[str, Node] = {}
         self._partitions: Set[Tuple[str, str]] = set()
         self._link_clock: Dict[Tuple[str, str], float] = {}
@@ -199,6 +205,19 @@ class Network:
     def partitioned(self, a: str, b: str) -> bool:
         """Whether *a* and *b* currently cannot communicate."""
         return self._pair(a, b) in self._partitions
+
+    # ------------------------------------------------------------------
+    # Link-level chaos
+    # ------------------------------------------------------------------
+    def install_link_faults(self, injector) -> None:
+        """Attach a :class:`~repro.net.faults.LinkFaultInjector` (or None).
+
+        Every subsequent remote message consults it once: the message may
+        be dropped, held up (FIFO-preserving congestion), rerouted past the
+        FIFO clamp (reordering) or duplicated.  Passing ``None`` restores
+        the undisturbed network.
+        """
+        self.link_faults = injector
 
     # ------------------------------------------------------------------
     # Sending
@@ -258,19 +277,37 @@ class Network:
 
         dropped = self._should_drop(message)
         if not dropped:
-            flight = self.latency
-            if self.jitter:
-                flight += self.rng.stream("net.jitter").uniform(0.0, self.jitter)
-            arrival = send_done + flight
-            # FIFO per directed link: never deliver before an earlier message.
-            link = (message.src, message.dst)
-            arrival = max(arrival, self._link_clock.get(link, 0.0))
-            self._link_clock[link] = arrival
+            deliveries = ((0.0, True),)
+            faults = self.link_faults
+            if faults is not None:
+                decision = faults.decide(message.src, message.dst)
+                if decision is not None:
+                    if decision is faults.DROP:
+                        self.stats.messages_dropped_chaos += 1
+                        self._trace_drop(message, "chaos")
+                        deliveries = ()
+                    else:
+                        deliveries = decision
+                        if len(deliveries) > 1:
+                            self.stats.messages_duplicated += len(deliveries) - 1
             dst = self._nodes.get(message.dst)
             if dst is not None:
-                # The receiving side pays a kernel call too, serialized on
-                # its own NIC — but only after the message has arrived.
-                env.call_at(arrival, self._arrive, message, dst)
+                for extra_delay, fifo in deliveries:
+                    flight = self.latency + extra_delay
+                    if self.jitter:
+                        flight += self.rng.stream("net.jitter").uniform(0.0, self.jitter)
+                    arrival = send_done + flight
+                    if fifo:
+                        # FIFO per directed link: never deliver before an
+                        # earlier message.  Chaos-reordered copies and stray
+                        # duplicates skip the clamp (and leave the clock
+                        # alone): they took an independent slow path.
+                        link = (message.src, message.dst)
+                        arrival = max(arrival, self._link_clock.get(link, 0.0))
+                        self._link_clock[link] = arrival
+                    # The receiving side pays a kernel call too, serialized
+                    # on its own NIC — but only after the message arrives.
+                    env.call_at(arrival, self._arrive, message, dst)
 
         if not want_done:
             return None

@@ -14,7 +14,7 @@ is JSON-serializable, so tests and benchmarks can assert on it directly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Tuple
 
 __all__ = ["Counter", "Histogram", "Metrics", "format_key"]
 

@@ -45,6 +45,7 @@ __all__ = [
     "FifoOrderMonitor",
     "PromiseLifecycleMonitor",
     "MonitorSuite",
+    "DEFAULT_MONITORS",
 ]
 
 
@@ -192,30 +193,59 @@ class PromiseLifecycleMonitor(Monitor):
                 )
 
 
+#: The monitors every suite starts with: the paper's transport guarantees.
+DEFAULT_MONITORS: List[Any] = [
+    ExactlyOnceMonitor,
+    FifoOrderMonitor,
+    PromiseLifecycleMonitor,
+]
+
+
 class MonitorSuite:
-    """The standard monitors, attached to one tracer.
+    """A set of online monitors attached to one tracer.
 
     With ``strict=True`` (the default) the first violation raises
     immediately at the emit site; either way every violation is appended
     to :attr:`violations` for end-of-run assertions.
+
+    The suite starts with :data:`DEFAULT_MONITORS` (pass ``monitors=`` to
+    override the roster) and further oracles can be plugged in with
+    :meth:`register` — the chaos engine (:mod:`repro.chaos`) uses this to
+    run campaign-specific end-to-end oracles alongside the transport
+    invariants.
     """
 
-    def __init__(self, strict: bool = True) -> None:
+    def __init__(
+        self, strict: bool = True, monitors: Optional[List[Any]] = None
+    ) -> None:
         self.strict = strict
         self.violations: List[MonitorViolation] = []
-        self.monitors: List[Monitor] = [
-            ExactlyOnceMonitor(self),
-            FifoOrderMonitor(self),
-            PromiseLifecycleMonitor(self),
-        ]
+        factories = DEFAULT_MONITORS if monitors is None else monitors
+        self.monitors: List[Monitor] = [factory(self) for factory in factories]
 
     # ------------------------------------------------------------------
     @classmethod
-    def install(cls, tracer: Any, strict: bool = True) -> "MonitorSuite":
+    def install(
+        cls,
+        tracer: Any,
+        strict: bool = True,
+        monitors: Optional[List[Any]] = None,
+    ) -> "MonitorSuite":
         """Create a suite and attach it as ``tracer.monitors``."""
-        suite = cls(strict=strict)
+        suite = cls(strict=strict, monitors=monitors)
         tracer.monitors = suite
         return suite
+
+    def register(self, factory: Any) -> Monitor:
+        """Instantiate *factory* (a :class:`Monitor` subclass or any
+        ``suite -> Monitor`` callable) and add it to the roster.
+
+        The new monitor observes every event emitted from now on; returns
+        the instance so callers can inspect its state afterwards.
+        """
+        monitor = factory(self)
+        self.monitors.append(monitor)
+        return monitor
 
     def observe(self, etype: str, time: float, fields: Dict[str, Any]) -> None:
         """Called by :meth:`Tracer.emit` for every event."""

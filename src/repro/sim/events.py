@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, List, Optional
 
-from repro.sim.kernel import Environment, NORMAL, URGENT
+from repro.sim.kernel import Environment, NORMAL
 
 __all__ = ["Event", "Timeout", "Condition", "AllOf", "AnyOf", "ConditionValue"]
 

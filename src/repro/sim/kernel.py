@@ -16,7 +16,7 @@ machinery for that lives in :mod:`repro.sim.process`.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Generator, Iterable, List, Tuple
 
 __all__ = [
     "Environment",

@@ -4,6 +4,12 @@ Every stochastic model component (network jitter, fault injection, workload
 generators) draws from its own named stream so that adding a new component
 never perturbs the draws of existing ones.  All streams derive from a single
 root seed, keeping whole experiments reproducible from one integer.
+
+The chaos-campaign engine (:mod:`repro.chaos`) leans on this hard: fault
+*schedule* generation, link-level fault draws, network jitter and workload
+randomness all live in distinct named streams, so a campaign seed fully
+determines a run and injecting one more fault never reshuffles the
+workload's own draws.
 """
 
 from __future__ import annotations
@@ -11,7 +17,23 @@ from __future__ import annotations
 import random
 from typing import Dict
 
-__all__ = ["RngRegistry"]
+__all__ = ["RngRegistry", "derive_seed"]
+
+_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def derive_seed(seed: int, name: str) -> int:
+    """Derive a per-stream seed from a root *seed* and a stream *name*.
+
+    Platform-stable by construction (``hash()`` is salted per-process, so
+    it must not be used): a simple polynomial roll over the name's code
+    points, folded into 64 bits.  Identical ``(seed, name)`` pairs yield
+    identical derived seeds on every platform and Python version.
+    """
+    derived = seed & _MASK
+    for ch in name:
+        derived = (derived * 1000003 + ord(ch)) & _MASK
+    return derived
 
 
 class RngRegistry:
@@ -29,14 +51,17 @@ class RngRegistry:
         """Return the stream for *name*, creating it deterministically."""
         stream = self._streams.get(name)
         if stream is None:
-            # Derive a per-stream seed from the root seed and the name in a
-            # platform-stable way (hash() is salted per-process, so avoid it).
-            derived = self._seed
-            for ch in name:
-                derived = (derived * 1000003 + ord(ch)) & 0xFFFFFFFFFFFFFFFF
-            stream = random.Random(derived)
+            stream = random.Random(derive_seed(self._seed, name))
             self._streams[name] = stream
         return stream
+
+    def spawn(self, name: str) -> "RngRegistry":
+        """A child registry whose root seed derives from *name*.
+
+        Used by campaign runners to give each (seed, workload) pair its own
+        fully independent family of streams.
+        """
+        return RngRegistry(derive_seed(self._seed, name))
 
     def reset(self) -> None:
         """Forget all streams; they will be re-derived on next use."""

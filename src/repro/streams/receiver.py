@@ -17,11 +17,11 @@ guardian.  It provides the receiver half of the §2 guarantees:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.outcome import Outcome
 from repro.encoding.errors import DecodeError, EncodeError
-from repro.encoding.transmit import ArgsCodec, OutcomeCodec
+from repro.encoding.transmit import OutcomeCodec
 from repro.net.message import Message
 from repro.net.network import Network, NodeDown
 from repro.sim.alarm import Alarm

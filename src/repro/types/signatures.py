@@ -18,7 +18,7 @@ relationship.  The same algebra is reused by the value-transmission layer
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 __all__ = [
     "Type",

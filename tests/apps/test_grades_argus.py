@@ -1,7 +1,6 @@
 """The mini-Argus transcriptions of Figures 3-1 and 4-2 agree with each
 other and with the Python transcriptions."""
 
-import pytest
 
 from repro.apps import make_roster
 from repro.apps.grades_argus import FIG_3_1_SOURCE, FIG_4_2_SOURCE, run_grades_program

@@ -12,7 +12,6 @@ from repro.baselines import (
 from repro.core import Signal
 from repro.entities import ArgusSystem
 from repro.net import Network
-from repro.sim import Environment
 from repro.types import INT, HandlerType
 
 from ..conftest import run_client

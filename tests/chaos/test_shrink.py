@@ -1,0 +1,110 @@
+"""Delta-debugging shrinker: ddmin over ops, link-profile minimization."""
+
+import pytest
+
+from repro.chaos.schedule import ChaosSchedule, FaultOp
+from repro.chaos.shrink import _ddmin, shrink_schedule
+from repro.chaos.workloads import WORKLOADS, EchoWorkload
+from repro.net.faults import LinkFaultProfile
+
+
+def _ops(n):
+    return [FaultOp("crash", ["node:server"], float(i + 1), float(i + 2)) for i in range(n)]
+
+
+def test_ddmin_isolates_a_single_culprit():
+    ops = _ops(8)
+    culprit = ops[5]
+    probes = []
+
+    def still_fails(candidate):
+        probes.append(len(candidate))
+        return culprit in candidate
+
+    minimal = _ddmin(list(ops), still_fails)
+    assert minimal == [culprit]
+    assert probes  # it actually probed subsets
+
+
+def test_ddmin_handles_conjunction_of_two_ops():
+    ops = _ops(10)
+    culprits = {ops[2], ops[7]}
+
+    def still_fails(candidate):
+        return culprits <= set(candidate)
+
+    minimal = _ddmin(list(ops), still_fails)
+    assert set(minimal) == culprits
+
+
+def test_ddmin_reduces_to_empty_when_failure_is_unconditional():
+    minimal = _ddmin(_ops(5), lambda candidate: True)
+    assert minimal == []
+
+
+def test_shrink_requires_a_failing_baseline():
+    with pytest.raises(ValueError):
+        shrink_schedule("echo", seed=0, schedule=ChaosSchedule())
+
+
+def test_shrink_minimizes_a_real_failing_run():
+    """A workload that fails unconditionally shrinks to the empty schedule
+    (every op and the link profile are irrelevant to the failure)."""
+
+    class BrokenEcho(EchoWorkload):
+        def expected(self):
+            return {key: value + 1000 for key, value in super().expected().items()}
+
+    original = dict(WORKLOADS)
+    BrokenEcho.name = "broken-echo"
+    WORKLOADS["broken-echo"] = BrokenEcho
+    try:
+        schedule = ChaosSchedule(
+            ops=[
+                FaultOp("crash", ["node:server"], 5.0, 8.0),
+                FaultOp("partition", ["node:client", "node:server"], 20.0, 25.0),
+            ],
+            link=LinkFaultProfile(drop_rate=0.05),
+        )
+        report = shrink_schedule("broken-echo", seed=0, schedule=schedule)
+        assert report.schedule.ops == []
+        assert report.schedule.link is None
+        assert report.result.failed
+        assert report.removed_ops == 2
+        assert report.probes > 1
+    finally:
+        WORKLOADS.clear()
+        WORKLOADS.update(original)
+
+
+def test_shrink_keeps_the_necessary_op():
+    """When the failure needs the crash (wrong expectations only surface
+    for outcomes that stay ok), the shrinker must keep a reproducer."""
+
+    class PickyEcho(EchoWorkload):
+        # Fails only if call 0 resolves ok AND a crash happened: the
+        # driver records the server's crash count via the schedule result.
+        def check_outcomes(self, outcomes):
+            problems = super(EchoWorkload, self).check_outcomes(outcomes)
+            if any(tag == "unavailable" for _, tag, _ in outcomes):
+                problems.append("synthetic: a break was observed")
+            return problems
+
+    original = dict(WORKLOADS)
+    PickyEcho.name = "picky-echo"
+    WORKLOADS["picky-echo"] = PickyEcho
+    try:
+        schedule = ChaosSchedule(
+            ops=[
+                FaultOp("partition", ["node:client", "node:server"], 3.0, None),
+                FaultOp("crash", ["node:server"], 30.0, 31.0),
+            ]
+        )
+        report = shrink_schedule("picky-echo", seed=0, schedule=schedule)
+        # The forever-partition alone reproduces; the late crash is noise.
+        assert len(report.schedule.ops) == 1
+        assert report.schedule.ops[0].kind == "partition"
+        assert report.result.failed
+    finally:
+        WORKLOADS.clear()
+        WORKLOADS.update(original)

@@ -1,9 +1,7 @@
 """Local forks: promises for local procedures (§3.2)."""
 
-import pytest
 
-from repro.core import Failure, Signal, Unavailable
-from repro.entities import ArgusSystem
+from repro.core import Failure, Signal
 from repro.types import INT, PromiseType, STRING
 
 from ..conftest import run_client

@@ -5,9 +5,7 @@ may be running elsewhere.  Instead, the Argus system guarantees that it
 will find these computations and destroy them later."
 """
 
-import pytest
 
-from repro.concurrency import PromiseQueue
 from repro.core import Signal
 from repro.entities import ArgusSystem
 from repro.streams import StreamConfig

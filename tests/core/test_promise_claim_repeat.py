@@ -5,7 +5,6 @@ time" — for both the value and the exception cases — and ``ready`` is a
 non-blocking probe that never advances the simulation.
 """
 
-import pytest
 
 from repro.core import Outcome, Promise, Unavailable
 from repro.core.exceptions import Signal

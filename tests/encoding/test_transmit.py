@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Failure, Outcome, Signal, Unavailable
+from repro.core import Failure, Outcome, Unavailable
 from repro.encoding import ArgsCodec, DecodeError, EncodeError, OutcomeCodec, failing_user_type
 from repro.encoding.xrep import encode_value
 from repro.types import CHAR, INT, REAL, STRING, HandlerType

@@ -4,7 +4,6 @@ These are the mailer-guardian claims: one client's calls on a stream run
 in order; different clients' (or different agents') calls overlap.
 """
 
-import pytest
 
 from repro.apps import build_mailer
 from repro.core import Signal

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.core import Failure
-from repro.entities import Agent, ArgusSystem
-from repro.types import INT, STRING, HandlerType
+from repro.entities import Agent
+from repro.types import INT, HandlerType
 
 ECHO = HandlerType(args=[INT], returns=[INT])
 

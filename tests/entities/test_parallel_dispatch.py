@@ -7,7 +7,6 @@ concurrently, but promises still resolve in call order and replies still
 travel in call order.
 """
 
-import pytest
 
 from repro.entities import ArgusSystem
 from repro.types import INT, HandlerType

@@ -7,7 +7,7 @@ full stack (client guardian → network → server guardian → back).
 
 import pytest
 
-from repro.core import ExceptionReply, Failure, Signal, Unavailable
+from repro.core import ExceptionReply, Failure, Signal
 from repro.entities import ArgusSystem
 from repro.lang import run_source
 from repro.streams import StreamConfig

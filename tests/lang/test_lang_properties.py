@@ -1,10 +1,9 @@
 """Property-based robustness tests for the language front end."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lang import LangError, LexError, ParseError, tokenize
+from repro.lang import LangError, LexError, tokenize
 from repro.lang.lexer import KEYWORDS
 from repro.lang.parser import parse_module
 from repro.lang.pretty import pretty_module

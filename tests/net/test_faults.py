@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net import FaultPlan, Message, Network, schedule_crash, schedule_partition
-from repro.sim import Environment
 
 
 @pytest.fixture

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.net import HEADER_BYTES, Message, Network, NodeDown
-from repro.sim import Environment
 
 
 def make_net(env, **kwargs):

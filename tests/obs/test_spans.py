@@ -10,7 +10,6 @@ validate the Chrome trace-event output shape.
 
 import json
 
-from repro.obs import Tracer
 from repro.obs.spans import (
     PHASES,
     aggregate_critical_path,

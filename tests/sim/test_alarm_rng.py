@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Alarm, Environment, RngRegistry
+from repro.sim import Alarm, RngRegistry
 
 
 def test_alarm_fires_at_deadline(env):

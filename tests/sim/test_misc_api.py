@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net import HEADER_BYTES, Message, Network
-from repro.sim import AllOf, Environment, Event, Process, Timeout
+from repro.sim import AllOf, Event, Timeout
 
 
 def test_event_trigger_copies_outcome(env):

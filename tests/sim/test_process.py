@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Environment, Event, Interrupt, Process, ProcessKilled
+from repro.sim import Event, Interrupt, ProcessKilled
 
 
 def test_process_returns_value(env):

@@ -5,7 +5,6 @@ import pytest
 from repro.sim import (
     BlockingQueue,
     ConditionVariable,
-    Environment,
     Lock,
     QueueClosed,
     Semaphore,

@@ -1,8 +1,7 @@
 """Broken streams: crashes, partitions, decode failures, restart (§2-§3)."""
 
-import pytest
 
-from repro.core import Failure, Signal, Unavailable
+from repro.core import Failure, Unavailable
 from repro.encoding import failing_user_type
 from repro.entities import ArgusSystem
 from repro.net import schedule_crash, schedule_partition
@@ -312,7 +311,6 @@ def test_crash_never_duplicates_execution():
     into the recovered node.  The retransmission must be refused (an
     asynchronous break), never re-executed."""
     from repro.entities import ArgusSystem
-    from repro.streams.wire import CallPacket
 
     config = StreamConfig(batch_size=1, max_buffer_delay=0.0, rto=6.0, max_retries=5)
     system = ArgusSystem(latency=1.0, kernel_overhead=0.1, stream_config=config)

@@ -1,6 +1,5 @@
 """The flush and synch primitives (§2, §3)."""
 
-import pytest
 
 from repro.core import ExceptionReply
 from repro.streams import StreamConfig

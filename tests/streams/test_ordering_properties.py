@@ -8,7 +8,6 @@ call order, and in-call-order promise resolution.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import Signal
 from repro.entities import ArgusSystem
 from repro.streams import StreamConfig
 from repro.types import INT, HandlerType

@@ -1,8 +1,7 @@
 """Crash recovery, same-node streams, incarnation hygiene, stats."""
 
-import pytest
 
-from repro.core import ExceptionReply, Failure, Signal, Unavailable
+from repro.core import ExceptionReply, Signal, Unavailable
 from repro.entities import ArgusSystem
 from repro.net import schedule_crash
 from repro.streams import StreamConfig

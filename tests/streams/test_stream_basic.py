@@ -1,8 +1,7 @@
 """Stream-call semantics: promises, ordering, batching, sends (§2-§3)."""
 
-import pytest
 
-from repro.core import Failure, Signal, Unavailable
+from repro.core import Failure, Signal
 from repro.streams import StreamConfig
 
 from .helpers import build_echo_world, run_main

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import Signal
-from repro.sim import Interrupt
 from repro.transactions import (
     Action,
     ActionAborted,
