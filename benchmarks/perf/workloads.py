@@ -75,7 +75,10 @@ def stream_calls(n: int) -> int:
     # so at large n the first ack legitimately takes longer than any
     # realistic retransmission budget; retries would only distort the
     # wall-clock measurement with extra (simulated-lost) traffic.
-    config = StreamConfig(
+    # Legacy fixed-function transport: this workload is the BENCH_PR2
+    # baseline, so its numbers must stay comparable across PRs (the
+    # adaptive transport is measured separately in transport_bench.py).
+    config = StreamConfig.legacy(
         batch_size=16,
         reply_batch_size=16,
         max_buffer_delay=2.0,

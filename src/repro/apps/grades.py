@@ -111,11 +111,17 @@ def build_grades_world(
     stream_config: Optional[StreamConfig] = None,
     **system_kwargs: Any,
 ) -> GradesWorld:
-    """Construct the three-guardian grades world on a fresh system."""
+    """Construct the three-guardian grades world on a fresh system.
+
+    The default stream config is :meth:`StreamConfig.legacy`: this world
+    is the paper-replication scenario (Fig 3-1 / E3) whose wire-message
+    counts and golden trace are pinned against the 1988 fixed-function
+    transport.  Pass an explicit ``stream_config`` to run it adaptively.
+    """
     system = ArgusSystem(
         latency=latency,
         kernel_overhead=kernel_overhead,
-        stream_config=stream_config,
+        stream_config=stream_config or StreamConfig.legacy(),
         **system_kwargs,
     )
     return GradesWorld(system, record_cost, print_cost)

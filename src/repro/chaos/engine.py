@@ -127,6 +127,7 @@ def run_one(
     intensity: str = "default",
     schedule: Optional[ChaosSchedule] = None,
     trace_path: Optional[str] = None,
+    profile: str = "legacy",
 ) -> RunResult:
     """Execute one campaign run and judge it.
 
@@ -134,14 +135,17 @@ def run_one(
     provided schedule is applied verbatim; otherwise a schedule is drawn
     from the seed's ``chaos.plan`` stream at *intensity*.  *trace_path*,
     if set, receives the full JSONL event trace (pass it for failing runs
-    so CI can attach the evidence).
+    so CI can attach the evidence).  *profile* selects the transport:
+    ``legacy`` (the fixed-function transport the seed-corpus digests were
+    recorded against) or ``adaptive`` (PR 5 windowed transport — digests
+    are profile-specific, but oracles and monitors judge identically).
     """
     workload = create_workload(workload_name)
     params = workload.network_params()
     system = ArgusSystem(
         seed=seed,
         tracing=True,
-        stream_config=workload.stream_config(),
+        stream_config=workload.stream_config(profile),
         **params
     )
     suite = MonitorSuite.install(system.tracer, strict=False)
@@ -242,13 +246,16 @@ def run_campaign(
     seeds: List[int],
     intensity: str = "default",
     progress: Optional[Any] = None,
+    profile: str = "legacy",
 ) -> CampaignResult:
     """Run every (workload, seed) pair; *progress* (if given) is called
     with each :class:`RunResult` as it lands."""
     campaign = CampaignResult()
     for workload_name in workloads:
         for seed in seeds:
-            result = run_one(workload_name, seed, intensity=intensity)
+            result = run_one(
+                workload_name, seed, intensity=intensity, profile=profile
+            )
             campaign.add(result)
             if progress is not None:
                 progress(result)

@@ -59,6 +59,9 @@ __all__ = [
     "EV_CALL_COMPLETED",
     "EV_REPLY_PACKET_SENT",
     "EV_CALL_RESOLVED",
+    "EV_WINDOW_STALL",
+    "EV_RTT_SAMPLE",
+    "EV_BATCH_LIMIT",
     "EV_FORK_SPAWNED",
     "EV_STREAM_BREAK",
     "EV_STREAM_REFUSED",
@@ -95,6 +98,12 @@ EV_REPLY_PACKET_SENT = "stream.reply_packet_sent"
 EV_CALL_RESOLVED = "stream.call_resolved"
 EV_STREAM_BREAK = "stream.break"
 EV_STREAM_REFUSED = "stream.refused"
+#: Flow control held ready calls back (adaptive windowed transport, PR 5).
+EV_WINDOW_STALL = "stream.window_stall"
+#: One Karn-valid RTT measurement fed to the SRTT/RTTVAR estimator.
+EV_RTT_SAMPLE = "stream.rtt_sample"
+#: The AIMD controller moved the effective batch-size threshold.
+EV_BATCH_LIMIT = "stream.batch_limit"
 
 # -- concurrency layer -------------------------------------------------
 EV_FORK_SPAWNED = "fork.spawned"
@@ -389,6 +398,25 @@ def _agg_reply_packet_sent(metrics: Metrics, fields: Dict[str, Any]) -> None:
     metrics.observe(
         "stream.reply_batch_size", fields["entries"], stream=fields["stream"]
     )
+    sacks = fields.get("sacks")
+    if sacks:
+        metrics.inc("stream.sack_ranges_sent", amount=sacks, stream=fields["stream"])
+
+
+def _agg_window_stall(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("stream.window_stalls", stream=fields["stream"])
+    metrics.observe(
+        "stream.window_deferred", fields["deferred"], stream=fields["stream"]
+    )
+
+
+def _agg_rtt_sample(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.observe("stream.rtt", fields["sample"], stream=fields["stream"])
+    metrics.observe("stream.rto", fields["rto"], stream=fields["stream"])
+
+
+def _agg_batch_limit(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.observe("stream.batch_limit", fields["limit"], stream=fields["stream"])
 
 
 def _agg_call_resolved(metrics: Metrics, fields: Dict[str, Any]) -> None:
@@ -471,6 +499,9 @@ _AGGREGATORS = {
     EV_FORK_SPAWNED: _agg_fork_spawned,
     EV_REPLY_PACKET_SENT: _agg_reply_packet_sent,
     EV_CALL_RESOLVED: _agg_call_resolved,
+    EV_WINDOW_STALL: _agg_window_stall,
+    EV_RTT_SAMPLE: _agg_rtt_sample,
+    EV_BATCH_LIMIT: _agg_batch_limit,
     EV_STREAM_BREAK: _agg_stream_break,
     EV_STREAM_REFUSED: _agg_stream_refused,
     EV_GUARDIAN_CRASHED: _agg_guardian_crashed,

@@ -4,11 +4,32 @@ These knobs are the levers the benchmarks sweep: ``batch_size`` and
 ``max_buffer_delay`` control the buffering the paper's throughput argument
 rests on; ``rto``/``max_retries`` control break detection; the reply-side
 twins control reply batching at the receiver.
+
+Since PR 5 the transport defaults to the *adaptive windowed* mode:
+
+* **selective retransmission** — the receiver reports out-of-order
+  arrivals as SACK ranges and the sender resends only the genuinely
+  missing calls (instead of the whole unacknowledged go-back-N tail);
+* **flow control** — the receiver advertises a call window derived from
+  its executing/reply-log backlog and the sender never keeps more than
+  that many calls in flight (``max_inflight_calls`` is both the sender's
+  hard cap and the receiver's window ceiling; ``0`` disables the window);
+* **self-tuning batching** — an AIMD controller grows the effective batch
+  size from ``batch_size`` toward ``max_batch_size`` while acks flow
+  cleanly and halves it on retransmissions and breaks;
+* **adaptive RTO** — Jacobson SRTT/RTTVAR estimation (with exponential
+  backoff) replaces the fixed ``rto``, which remains the pre-sample
+  initial value.
+
+:meth:`StreamConfig.legacy` restores the original fixed-function
+transport (fixed batch, go-back-N, fixed RTO, no window) — the
+paper-replication benchmarks E1/E3 and the golden-trace/wire-count pins
+run under it, bit-identical to the pre-PR-5 tree.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 __all__ = ["StreamConfig"]
 
@@ -18,11 +39,16 @@ class StreamConfig:
     """Configuration shared by the sending and receiving stream machinery."""
 
     #: Transmit the call buffer as soon as it holds this many entries.
+    #: Under adaptive batching this is the *initial* batch size; the AIMD
+    #: controller tunes the effective threshold between
+    #: ``min_batch_size`` and ``max_batch_size`` at runtime.
     batch_size: int = 8
     #: Transmit a non-empty call buffer at latest this long after its first
     #: entry arrived ("sent when convenient").
     max_buffer_delay: float = 5.0
-    #: Retransmission timeout for unacknowledged calls.
+    #: Retransmission timeout for unacknowledged calls.  With
+    #: ``adaptive_rto`` this is only the initial value used until the
+    #: first RTT sample lands.
     rto: float = 20.0
     #: Consecutive retransmissions tolerated before the sender breaks the
     #: stream ("the system tries hard to deliver messages before breaking").
@@ -44,6 +70,33 @@ class StreamConfig:
     #: are mapped into exceptions and then restarted automatically").
     auto_restart: bool = True
 
+    # -- adaptive windowed transport (PR 5) ----------------------------
+    #: Receiver reports out-of-order arrivals as SACK ranges; the sender
+    #: retransmits only the calls not covered by them.  Off = go-back-N.
+    selective_retransmit: bool = True
+    #: AIMD control of the effective batch size (additive increase by one
+    #: per clean ack packet, halving on retransmission/break).
+    adaptive_batching: bool = True
+    #: AIMD ceiling for the effective batch size.  A configured
+    #: ``batch_size`` above the ceiling widens the range instead of
+    #: erroring: the effective ceiling is ``max(batch_size,
+    #: max_batch_size)`` and the floor ``min(batch_size, min_batch_size)``.
+    max_batch_size: int = 64
+    #: AIMD floor for the effective batch size.
+    min_batch_size: int = 1
+    #: Jacobson SRTT/RTTVAR estimation drives the retransmission timeout
+    #: (plus ``ack_delay`` grace for receiver-side ack batching and
+    #: exponential backoff across consecutive timeouts).
+    adaptive_rto: bool = True
+    #: Clamp for the adaptive RTO.
+    min_rto: float = 2.0
+    max_rto: float = 60.0
+    #: Flow-control window: the most calls the sender keeps in flight
+    #: (transmitted, unacknowledged) and the ceiling on the window the
+    #: receiver advertises from its backlog.  ``0`` disables flow control
+    #: entirely (the legacy unbounded behaviour).
+    max_inflight_calls: int = 256
+
     def __post_init__(self) -> None:
         if self.batch_size < 1 or self.reply_batch_size < 1:
             raise ValueError("batch sizes must be >= 1")
@@ -57,13 +110,48 @@ class StreamConfig:
             raise ValueError("ack_delay must be positive")
         if self.reply_ack_delay <= 0:
             raise ValueError("reply_ack_delay must be positive")
+        if self.min_batch_size < 1:
+            raise ValueError("min_batch_size must be >= 1")
+        if self.max_batch_size < self.min_batch_size:
+            raise ValueError("max_batch_size must be >= min_batch_size")
+        if self.min_rto <= 0:
+            raise ValueError("min_rto must be positive")
+        if self.max_rto < self.min_rto:
+            raise ValueError("max_rto must be >= min_rto")
+        if self.max_inflight_calls < 0:
+            raise ValueError("max_inflight_calls must be >= 0 (0 disables)")
+
+    @classmethod
+    def legacy(cls, **overrides) -> "StreamConfig":
+        """The pre-PR-5 fixed-function transport.
+
+        Fixed ``batch_size``, go-back-N retransmission, fixed ``rto`` and
+        no flow-control window — bit-identical to the original design.
+        The paper-replication pins (E1/E3 wire counts, the golden trace,
+        the chaos seed corpus) run under this mode.
+        """
+        fields = dict(
+            selective_retransmit=False,
+            adaptive_batching=False,
+            adaptive_rto=False,
+            max_inflight_calls=0,
+        )
+        fields.update(overrides)
+        return cls(**fields)
 
     def unbuffered(self) -> "StreamConfig":
         """A copy that transmits every call and reply immediately.
 
         This is the RPC-like configuration used as the baseline in E1: each
-        call pays its own kernel call and transmission delay.
+        call pays its own kernel call and transmission delay.  Adaptive
+        batching is pinned off — the whole point of this mode is that the
+        batch never grows past one call.
         """
-        from dataclasses import replace
-
-        return replace(self, batch_size=1, max_buffer_delay=0.0, reply_batch_size=1, reply_max_delay=0.0)
+        return replace(
+            self,
+            batch_size=1,
+            max_buffer_delay=0.0,
+            reply_batch_size=1,
+            reply_max_delay=0.0,
+            adaptive_batching=False,
+        )

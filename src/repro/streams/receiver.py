@@ -83,11 +83,13 @@ class ReceiverStats:
         self.duplicates = 0
         self.reply_packets_sent = 0
         self.pure_acks_sent = 0
+        self.sack_ranges_sent = 0
         self.breaks = 0
 
     def snapshot(self) -> Dict[str, int]:
-        """A plain-dict copy of all counters."""
-        return dict(self.__dict__)
+        """A plain-dict copy of all counters, stable-ordered by name so
+        golden tests can compare snapshots textually."""
+        return {name: self.__dict__[name] for name in sorted(self.__dict__)}
 
 
 class StreamReceiver:
@@ -132,6 +134,10 @@ class StreamReceiver:
         self._next_outcome_seq = 1
         self._last_acked_call = 0
         self._last_sent_completed = 0
+        #: Window carried by the most recent reply packet (None before the
+        #: first one); lets a prune-driven re-opening trigger an explicit
+        #: window update instead of waiting for the next natural reply.
+        self._last_advertised_window: Optional[int] = None
         self._reply_alarm = Alarm(env, self._on_reply_deadline)
         self._ack_alarm = Alarm(env, self._on_ack_deadline)
 
@@ -156,6 +162,7 @@ class StreamReceiver:
         # receiver state (a crash) surfaces as retransmission exhaustion at
         # the sender: an asynchronous break, as §2 specifies.
         resend_needed = False
+        new_out_of_order = False
         entries = sorted(packet.entries, key=lambda entry: entry.seq)
         for entry in entries:
             if self.broken is not None:
@@ -175,8 +182,9 @@ class StreamReceiver:
             if entry.seq == self.expected_seq:
                 self._deliver(entry)
                 self._drain_out_of_order()
-            else:
-                self._out_of_order.setdefault(entry.seq, entry)
+            elif entry.seq not in self._out_of_order:
+                self._out_of_order[entry.seq] = entry
+                new_out_of_order = True
 
         if packet.synch_seq is not None:
             if self._pending_synch_seq is None or packet.synch_seq > self._pending_synch_seq:
@@ -202,9 +210,28 @@ class StreamReceiver:
             # Include the whole unacknowledged reply log: a flush request
             # may be the sender probing after *reply* packets were lost,
             # and only entries the sender has not acked are still in the
-            # log, so this stays cheap in the common case.
-            self._flush_replies(include_log=True)
+            # log, so this stays cheap in the common case.  Under the
+            # adaptive transport, first-transmission flushes (attempt 0)
+            # are routine segments of a window-paced burst, not loss
+            # probes — resending the log there is pure duplication, and
+            # actual reply loss still surfaces as an attempt > 0 probe
+            # when the sender's RTO fires.
+            self._flush_replies(
+                include_log=not self.config.selective_retransmit
+                or packet.attempt > 0
+            )
+        elif new_out_of_order and self.config.selective_retransmit:
+            # A gap just opened (or widened): tell the sender immediately
+            # which seqs we hold, so its selective retransmission — and the
+            # duplicate-ack fast path — can react before the RTO expires.
+            self._flush_replies()
         elif self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
+            self._flush_replies()
+        elif self._window_update_due():
+            # The ack we just absorbed pruned the reply log enough to
+            # re-open a significant chunk of window; a sender stalled on
+            # our last (small) advertisement only learns that from a reply
+            # packet, so send one now rather than leaving it blocked.
             self._flush_replies()
         elif self._ack_outstanding():
             self._ack_alarm.arm_if_idle(self.config.ack_delay)
@@ -312,9 +339,17 @@ class StreamReceiver:
             self._flush_replies()
         elif self._pending_synch_seq is not None and self.completed_seq >= self._pending_synch_seq:
             self._flush_replies()
-        elif self._flush_through_range[0] <= seq <= self._flush_through_range[1]:
+        elif self._flush_through_range[0] <= seq <= self._flush_through_range[1] and (
+            self.config.max_inflight_calls <= 0
+            or self.completed_seq >= self.expected_seq - 1
+        ):
             # This call was covered by an explicit flush: its reply (or
-            # completion watermark, for sends) goes out promptly.
+            # completion watermark, for sends) goes out promptly.  Under
+            # flow control a flush can cover a whole window-deferred burst;
+            # while earlier delivered calls are still executing, more
+            # replies are imminent, so let them coalesce (the batch-size
+            # trigger above and the reply alarm below bound the delay) —
+            # the burst's last completion still flushes immediately.
             self._flush_replies()
         elif self._reply_buffer:
             self._reply_alarm.arm_if_idle(self.config.reply_max_delay)
@@ -359,6 +394,51 @@ class StreamReceiver:
             or self.completed_seq > self._last_sent_completed
         )
 
+    def _sack_ranges(self) -> Tuple[Tuple[int, int], ...]:
+        """Out-of-order holdings compressed into closed (lo, hi) ranges."""
+        if not self._out_of_order:
+            return ()
+        seqs = sorted(self._out_of_order)
+        ranges = []
+        lo = prev = seqs[0]
+        for seq in seqs[1:]:
+            if seq == prev + 1:
+                prev = seq
+            else:
+                ranges.append((lo, prev))
+                lo = prev = seq
+        ranges.append((lo, prev))
+        return tuple(ranges)
+
+    def _advertised_window(self) -> Optional[int]:
+        """The flow-control window derived from our backlog.
+
+        Backlog = calls delivered but not yet completed (executing) plus
+        unacknowledged replies held in the log plus out-of-order holdings.
+        Floored at one so the stream always admits *some* progress — the
+        bound on receiver memory is ``max_inflight_calls`` plus that one
+        probe batch, not an absolute cap.
+        """
+        limit = self.config.max_inflight_calls
+        if limit <= 0:
+            return None
+        backlog = (
+            (self.expected_seq - 1 - self.completed_seq)
+            + len(self._reply_log)
+            + len(self._out_of_order)
+        )
+        return max(1, limit - backlog)
+
+    def _window_update_due(self) -> bool:
+        """Did pruning re-open enough window to be worth announcing?"""
+        limit = self.config.max_inflight_calls
+        if limit <= 0 or self.broken is not None:
+            return False
+        last = self._last_advertised_window
+        if last is None:
+            return False
+        return self._advertised_window() - last >= max(1, limit // 4)
+
     def _flush_replies(self, include_log: bool = False) -> None:
         self._reply_alarm.cancel()
         self._ack_alarm.cancel()
@@ -367,6 +447,7 @@ class StreamReceiver:
             self._reply_buffer = []
         else:
             entries, self._reply_buffer = self._reply_buffer, []
+        sack_ranges = self._sack_ranges() if self.config.selective_retransmit else ()
         packet = ReplyPacket(
             self.key,
             self.incarnation,
@@ -374,6 +455,8 @@ class StreamReceiver:
             ack_call_seq=self.expected_seq - 1,
             completed_seq=self.completed_seq,
             broken=self.broken,
+            sack_ranges=sack_ranges,
+            window=self._advertised_window(),
         )
         message = Message(
             self.key.dst_node,
@@ -388,9 +471,12 @@ class StreamReceiver:
             return
         self._last_acked_call = self.expected_seq - 1
         self._last_sent_completed = self.completed_seq
+        self._last_advertised_window = packet.window
         self.stats.reply_packets_sent += 1
         if not entries:
             self.stats.pure_acks_sent += 1
+        if sack_ranges:
+            self.stats.sack_ranges_sent += len(sack_ranges)
         tracer = self.env.tracer
         if tracer is not None:
             tracer.emit(
@@ -400,6 +486,8 @@ class StreamReceiver:
                 entries=len(entries),
                 ack_call_seq=packet.ack_call_seq,
                 completed_seq=packet.completed_seq,
+                sacks=len(sack_ranges),
+                window=packet.window,
                 # Reply entries travel in seq order; the range (plus the
                 # completed_seq watermark, which covers sends with no reply
                 # entry) dates each call's reply-on-wire phase.

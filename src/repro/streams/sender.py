@@ -10,7 +10,13 @@ thus are sequenced" (§2).  It implements:
 * buffering with size and delay triggers, and the paper's ``flush`` and
   ``synch`` primitives;
 * exactly-once delivery over the unreliable network, via cumulative
-  acknowledgements and go-back-N retransmission;
+  acknowledgements plus — in the default adaptive mode — SACK-driven
+  *selective* retransmission (go-back-N remains available as the legacy
+  mode);
+* sender-side flow control against the window the receiver advertises
+  from its backlog, so bulk workloads cannot overrun receiver memory;
+* AIMD self-tuning of the batch size and a Jacobson SRTT/RTTVAR estimate
+  driving the retransmission timeout (see DESIGN.md §11);
 * in-call-order resolution of promises ("if the i+1st result is ready,
   then so is the ith");
 * break detection (retransmission exhaustion, receiver notices), mapping
@@ -59,13 +65,20 @@ class SenderStats:
         self.sends_made = 0
         self.packets_sent = 0
         self.retransmissions = 0
+        self.fast_retransmits = 0
+        self.reply_gap_probes = 0
+        self.retransmitted_calls_avoided = 0
+        self.window_stalls = 0
+        self.max_inflight = 0
+        self.rtt_samples = 0
         self.breaks = 0
         self.flushes = 0
         self.synchs = 0
 
     def snapshot(self) -> Dict[str, int]:
-        """A plain-dict copy of all counters."""
-        return dict(self.__dict__)
+        """A plain-dict copy of all counters, stable-ordered by name so
+        golden tests can compare snapshots textually."""
+        return {name: self.__dict__[name] for name in sorted(self.__dict__)}
 
 
 class _PendingCall:
@@ -109,6 +122,13 @@ class StreamSender:
         #: True when the stream is broken and auto_restart is off.
         self.broken = False
         self._break_exception: Optional[Exception] = None
+        # Path-quality state survives reincarnation: the network between
+        # the two nodes is the same, so RTT estimates and the learned
+        # batch size stay useful across restarts.
+        self._batch_limit = float(self.config.batch_size)
+        self._srtt: Optional[float] = None
+        self._rttvar = 0.0
+        self._rto_backoff = 1.0
         self._reset_incarnation_state()
         self._buffer_alarm = Alarm(env, self._on_buffer_deadline)
         self._rto_alarm = Alarm(env, self._on_rto)
@@ -120,6 +140,9 @@ class StreamSender:
         self._next_seq = 1
         self._next_resolve = 1
         self._buffer: List[CallEntry] = []
+        #: Entries released from the buffer (batch trigger / flush) but
+        #: held back by the flow-control window, in seq order.
+        self._ready: List[CallEntry] = []
         self._unacked: "OrderedDict[int, CallEntry]" = OrderedDict()
         self._pending: Dict[int, _PendingCall] = {}
         self._outcomes: Dict[int, Outcome] = {}
@@ -130,6 +153,20 @@ class StreamSender:
         self._synch_waiters: List[Tuple[int, Event]] = []
         self._pending_flush_replies = False
         self._pending_synch_seq: Optional[int] = None
+        #: Seqs the receiver holds out of order (SACK): skipped on
+        #: retransmission, dropped once the cumulative ack passes them.
+        self._sacked: set = set()
+        #: First-transmission times per seq (Karn: cleared on retransmit),
+        #: feeding the RTT estimator.
+        self._send_times: Dict[int, float] = {}
+        #: Latest window the receiver advertised (None until it speaks).
+        self._window: Optional[int] = None
+        # Duplicate-ack tracking for fast retransmission.
+        self._dupack_seq = -1
+        self._dupacks = 0
+        self._fast_resent_for = -1
+        #: Resolve cursor at the last reply-gap probe (once per stall).
+        self._reply_gap_probed = 0
 
     # ------------------------------------------------------------------
     # Public call interface
@@ -235,7 +272,7 @@ class StreamSender:
             # "RPCs and their replies are sent over the network immediately,
             # to minimize the delay for a call."
             self._flush_buffer(flush_replies=True)
-        elif len(self._buffer) >= self.config.batch_size:
+        elif len(self._buffer) >= self._batch_threshold():
             self._flush_buffer()
         elif self.config.max_buffer_delay == 0.0:
             self._flush_buffer()
@@ -321,6 +358,72 @@ class StreamSender:
             self._transmit([], False, None)
 
     # ------------------------------------------------------------------
+    # Adaptive controllers (batch size, RTT/RTO)
+    # ------------------------------------------------------------------
+    def _batch_threshold(self) -> int:
+        """The current auto-flush threshold for the call buffer."""
+        if not self.config.adaptive_batching:
+            return self.config.batch_size
+        return int(self._batch_limit)
+
+    def _grow_batch(self) -> None:
+        """AIMD additive increase: one more call per cleanly-acked packet."""
+        ceiling = float(max(self.config.max_batch_size, self.config.batch_size))
+        if self._batch_limit < ceiling:
+            self._batch_limit = min(ceiling, self._batch_limit + 1.0)
+            self._trace_batch_limit()
+
+    def _shrink_batch(self) -> None:
+        """AIMD multiplicative decrease, on retransmission or break."""
+        floor = float(min(self.config.min_batch_size, self.config.batch_size))
+        shrunk = max(floor, self._batch_limit / 2.0)
+        if shrunk != self._batch_limit:
+            self._batch_limit = shrunk
+            self._trace_batch_limit()
+
+    def _trace_batch_limit(self) -> None:
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.batch_limit",
+                stream=self.trace_label,
+                limit=int(self._batch_limit),
+            )
+
+    def _current_rto(self) -> float:
+        """The retransmission timeout in force right now."""
+        config = self.config
+        if not config.adaptive_rto:
+            return config.rto
+        if self._srtt is None:
+            base = config.rto
+        else:
+            # Jacobson: SRTT + 4·RTTVAR, plus ack_delay grace because the
+            # receiver may legitimately sit on a pure ack that long.
+            base = self._srtt + max(4.0 * self._rttvar, 1e-3) + config.ack_delay
+        base = min(max(base, config.min_rto), config.max_rto)
+        return min(base * self._rto_backoff, config.max_rto)
+
+    def _rtt_sample(self, sample: float) -> None:
+        self.stats.rtt_samples += 1
+        if self._srtt is None:
+            self._srtt = sample
+            self._rttvar = sample / 2.0
+        else:
+            self._rttvar += 0.25 * (abs(self._srtt - sample) - self._rttvar)
+            self._srtt += 0.125 * (sample - self._srtt)
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.rtt_sample",
+                stream=self.trace_label,
+                sample=sample,
+                srtt=self._srtt,
+                rttvar=self._rttvar,
+                rto=self._current_rto(),
+            )
+
+    # ------------------------------------------------------------------
     # Internal: transmission
     # ------------------------------------------------------------------
     def _check_usable(self) -> None:
@@ -334,6 +437,21 @@ class StreamSender:
             exc = self._break_exception or Unavailable("stream is broken")
             raise type(exc)(*exc.args)
 
+    def _window_allowance(self) -> Optional[int]:
+        """How many more calls may enter flight; None = no window (legacy)."""
+        limit = self.config.max_inflight_calls
+        if limit <= 0:
+            return None
+        window = self._window
+        if window is None or window > limit:
+            window = limit
+        inflight = len(self._unacked)
+        if inflight == 0:
+            # Never let a zero advertisement wedge an idle stream: one
+            # probe batch may always fly — its ack re-advertises.
+            return max(1, window)
+        return window - inflight
+
     def _flush_buffer(
         self,
         flush_replies: bool = False,
@@ -341,19 +459,76 @@ class StreamSender:
         force: bool = False,
     ) -> None:
         self._buffer_alarm.cancel()
-        entries, self._buffer = self._buffer, []
-        for entry in entries:
-            self._unacked[entry.seq] = entry
-        if not entries and not force:
+        if self._buffer:
+            self._ready.extend(self._buffer)
+            self._buffer = []
+        if not self._ready and not force:
             return
         if flush_replies:
             self._pending_flush_replies = True
         if synch_seq is not None:
             if self._pending_synch_seq is None or synch_seq > self._pending_synch_seq:
                 self._pending_synch_seq = synch_seq
+        self._push(flush_replies, synch_seq, force)
+
+    def _push(
+        self,
+        flush_replies: bool = False,
+        synch_seq: Optional[int] = None,
+        force: bool = False,
+    ) -> None:
+        """Move as much of the ready queue into flight as the window
+        permits, and transmit it."""
+        ready = self._ready
+        allowance = self._window_allowance()
+        if allowance is None or allowance >= len(ready):
+            entries, self._ready = ready, []
+        elif allowance <= 0:
+            entries = []
+        else:
+            entries = ready[:allowance]
+            del ready[:allowance]
+        if self._ready:
+            self._note_window_stall(len(self._ready))
+        if entries:
+            unacked = self._unacked
+            for entry in entries:
+                unacked[entry.seq] = entry
+            if self.config.adaptive_rto:
+                now = self.env.now
+                send_times = self._send_times
+                for entry in entries:
+                    send_times[entry.seq] = now
+            inflight = len(unacked)
+            if inflight > self.stats.max_inflight:
+                self.stats.max_inflight = inflight
+        if not entries and not force:
+            if self._unacked or self._has_unresolved():
+                self._rto_alarm.arm_if_idle(self._current_rto())
+            return
+        if flush_replies and entries and self._ready:
+            # A window-deferred backlog goes out in segments; only the
+            # final segment carries the flush marking.  Intermediate
+            # segments would otherwise each demand an immediate reply
+            # flush at the receiver, defeating reply batching for the
+            # whole burst.
+            flush_replies = False
         self._transmit(entries, flush_replies, synch_seq)
         if self._unacked or self._has_unresolved():
-            self._rto_alarm.arm_if_idle(self.config.rto)
+            self._rto_alarm.arm_if_idle(self._current_rto())
+
+    def _note_window_stall(self, deferred: int) -> None:
+        self.stats.window_stalls += 1
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "stream.window_stall",
+                stream=self.trace_label,
+                incarnation=self.incarnation,
+                inflight=len(self._unacked),
+                window=self._window,
+                deferred=deferred,
+            )
 
     def _transmit(
         self,
@@ -416,8 +591,18 @@ class StreamSender:
         resolved so it can garbage-collect its reply log."""
         if self.broken:
             return
-        if self._next_resolve - 1 > self._sent_ack_reply_seq and not self._buffer:
-            self._transmit([], False, None)
+        if self._next_resolve - 1 <= self._sent_ack_reply_seq:
+            return
+        if self._buffer:
+            return  # an outgoing call packet will carry the ack shortly
+        if self._ready:
+            allowance = self._window_allowance()
+            if allowance is None or allowance > 0:
+                return  # deferred calls can fly; their packet carries it
+            # Window-blocked: no call packet is coming, and the receiver
+            # needs this ack to prune its reply log (which is what is
+            # holding the window shut).  Fall through to the bare ack.
+        self._transmit([], False, None)
 
     def _on_rto(self) -> None:
         if self.broken:
@@ -433,15 +618,35 @@ class StreamSender:
                 self._reincarnate()
             return
         self.stats.retransmissions += 1
-        # Go-back-N: resend everything unacknowledged (and re-assert any
-        # pending flush/synch flags, which may have been lost too).
+        unacked = list(self._unacked.values())
+        if self.config.selective_retransmit and self._sacked:
+            # Selective retransmission: skip everything the receiver has
+            # already reported holding out of order.
+            sacked = self._sacked
+            entries = [entry for entry in unacked if entry.seq not in sacked]
+            self.stats.retransmitted_calls_avoided += len(unacked) - len(entries)
+        else:
+            # Go-back-N: resend everything unacknowledged.
+            entries = unacked
+        if self.config.adaptive_rto:
+            # Karn: a retransmitted seq can no longer yield an unambiguous
+            # RTT sample; back the timer off exponentially until an
+            # un-retransmitted packet is acked.
+            send_times = self._send_times
+            for entry in entries:
+                send_times.pop(entry.seq, None)
+            self._rto_backoff = min(self._rto_backoff * 2.0, 64.0)
+        if self.config.adaptive_batching:
+            self._shrink_batch()
+        # Re-assert any pending flush/synch flags (they may have been
+        # lost with the original packet).
         self._transmit(
-            list(self._unacked.values()),
+            entries,
             self._pending_flush_replies or self._has_unresolved(),
             self._pending_synch_seq,
             attempt=self._retries,
         )
-        self._rto_alarm.arm(self.config.rto)
+        self._rto_alarm.arm(self._current_rto())
 
     # ------------------------------------------------------------------
     # Internal: reply processing
@@ -450,6 +655,10 @@ class StreamSender:
         """Process a reply packet from the receiver (called by transport)."""
         if packet.incarnation != self.incarnation or self.broken:
             return  # stale incarnation
+        config = self.config
+
+        if packet.window is not None and config.max_inflight_calls > 0:
+            self._window = packet.window
 
         # Acknowledgements: drop delivered calls, note execution progress.
         # Entries are kept in seq order, so acknowledged calls form a prefix:
@@ -457,15 +666,37 @@ class StreamSender:
         progressed = False
         unacked = self._unacked
         ack_seq = packet.ack_call_seq
+        sacked = self._sacked
+        send_times = self._send_times
+        rtt_sent_at = None
         while unacked:
             seq = next(iter(unacked))
             if seq > ack_seq:
                 break
             del unacked[seq]
             progressed = True
+            if sacked:
+                sacked.discard(seq)
+            if send_times:
+                sent_at = send_times.pop(seq, None)
+                if sent_at is not None:
+                    # Karn-valid sample: this seq was never retransmitted.
+                    # The loop leaves the *latest* first-send time acked by
+                    # this packet, the best proxy for the packet's RTT.
+                    rtt_sent_at = sent_at
+        if rtt_sent_at is not None:
+            self._rtt_sample(self.env.now - rtt_sent_at)
         if packet.completed_seq > self._completed_seq:
             self._completed_seq = packet.completed_seq
             progressed = True
+
+        # Selective-ack bookkeeping: note what the receiver holds beyond
+        # the cumulative ack, so retransmissions can skip it.
+        if packet.sack_ranges and config.selective_retransmit:
+            for lo, hi in packet.sack_ranges:
+                for seq in range(lo, hi + 1):
+                    if seq in unacked:
+                        sacked.add(seq)
 
         # Reply entries: decode outcomes.  A decode failure at the sender
         # yields failure("could not decode") for that call only (§3 step 3).
@@ -483,16 +714,110 @@ class StreamSender:
             progressed = True
 
         if progressed:
+            clean = self._retries == 0
             self._retries = 0
+            # Karn, part two: keep the backed-off RTO until an ack covers a
+            # packet that was never retransmitted.  Resetting on *any*
+            # progress would pin the RTO below a long path's RTT forever
+            # (every packet retransmitted spuriously, every sample
+            # discarded as ambiguous).
+            if not config.adaptive_rto or rtt_sent_at is not None:
+                self._rto_backoff = 1.0
+            if clean and config.adaptive_batching:
+                self._grow_batch()
             if self._unacked or self._has_unresolved():
-                self._rto_alarm.arm(self.config.rto)
+                self._rto_alarm.arm(self._current_rto())
             else:
                 self._rto_alarm.cancel()
+
+        if packet.sack_ranges and config.selective_retransmit and not self.broken:
+            self._consider_fast_retransmit(packet)
 
         self._release_in_order()
 
         if packet.broken is not None:
             self._on_break_notice(packet.broken)
+            return
+
+        # Reply-gap fast probe: the receiver sends replies in call order,
+        # so holding a decoded outcome beyond the resolve cursor — or a
+        # completion watermark covering a call whose outcome never arrived
+        # (the tail-loss case: the *last* reply packet dropped, nothing
+        # after it to reveal the gap) — means the packet that carried the
+        # missing reply was lost (or is badly reordered).  Probe at
+        # attempt 1 — which makes the receiver resend its unacknowledged
+        # reply log — instead of stalling every claim behind the RTO.
+        # Once per stall point.
+        if (
+            config.selective_retransmit
+            and not self.broken
+            and self._has_unresolved()
+            and (self._outcomes or self._next_resolve <= self._completed_seq)
+            and self._reply_gap_probed != self._next_resolve
+        ):
+            self._reply_gap_probed = self._next_resolve
+            self.stats.reply_gap_probes += 1
+            self._transmit([], True, None, attempt=1)
+
+        # Flow control pump: acknowledged calls freed window space (or the
+        # receiver advertised a bigger window); push deferred entries.
+        if self._ready and not self.broken:
+            allowance = self._window_allowance()
+            if allowance is None or allowance > 0:
+                self._push(self._pending_flush_replies, self._pending_synch_seq)
+            elif (
+                self._next_resolve - 1 - self._sent_ack_reply_seq
+                >= max(1, config.max_inflight_calls // 4)
+            ):
+                # Still blocked, and a quarter-window of resolved replies
+                # is unacknowledged: ack now, so the receiver prunes its
+                # reply log and re-opens the window, instead of waiting
+                # out the reply_ack_delay while the stream sits stalled.
+                # (The quarter-window threshold keeps this from degrading
+                # into one bare ack per arriving reply packet.)
+                self._transmit([], False, None)
+
+    def _consider_fast_retransmit(self, packet: ReplyPacket) -> None:
+        """Duplicate-ack fast retransmission.
+
+        SACK ranges with a stuck cumulative ack mean the gap between them
+        was lost on the wire.  After two reply packets agree on the same
+        stuck ack we resend the gap immediately instead of waiting out the
+        RTO — once per stall point.
+        """
+        ack_seq = packet.ack_call_seq
+        if ack_seq == self._dupack_seq:
+            self._dupacks += 1
+        else:
+            self._dupack_seq = ack_seq
+            self._dupacks = 1
+        if self._dupacks < 2 or self._fast_resent_for == ack_seq:
+            return
+        top = max(hi for _lo, hi in packet.sack_ranges)
+        sacked = self._sacked
+        gap = [
+            entry
+            for seq, entry in self._unacked.items()
+            if seq <= top and seq not in sacked
+        ]
+        if not gap:
+            return
+        self._fast_resent_for = ack_seq
+        self.stats.retransmissions += 1
+        self.stats.fast_retransmits += 1
+        self.stats.retransmitted_calls_avoided += len(self._unacked) - len(gap)
+        if self.config.adaptive_rto:
+            send_times = self._send_times
+            for entry in gap:
+                send_times.pop(entry.seq, None)
+        if self.config.adaptive_batching:
+            self._shrink_batch()
+        self._transmit(
+            gap,
+            self._pending_flush_replies or self._has_unresolved(),
+            self._pending_synch_seq,
+            attempt=max(1, self._retries),
+        )
 
     def _release_in_order(self) -> None:
         """Resolve promises strictly in call order (§3 step 3)."""
@@ -582,7 +907,7 @@ class StreamSender:
         if self.broken and self._break_exception is not None:
             return
         self._had_outstanding_at_break = bool(
-            self._pending or self._unacked or self._buffer
+            self._pending or self._unacked or self._buffer or self._ready
         )
         self.stats.breaks += 1
         tracer = self.env.tracer
@@ -598,6 +923,9 @@ class StreamSender:
         self._buffer_alarm.cancel()
         self._rto_alarm.cancel()
         self._reply_ack_alarm.cancel()
+        if self.config.adaptive_batching:
+            # A break is the strongest congestion/loss signal there is.
+            self._shrink_batch()
         template = Failure(reason) if permanent else Unavailable(reason)
         # First deliver any outcomes that did arrive, in order; then fail
         # the rest (preserving the in-order-resolution invariant).
@@ -612,7 +940,11 @@ class StreamSender:
             self._resolve(pending, outcome)
         self._next_resolve = self._next_seq
         self._buffer = []
+        self._ready = []
         self._unacked.clear()
+        self._sacked.clear()
+        self._send_times.clear()
+        self._rto_backoff = 1.0
         self.broken = True
         self._break_exception = template
         self._wake_synch_waiters()

@@ -28,6 +28,8 @@ __all__ = [
     "BreakNotice",
     "PACKET_HEADER_BYTES",
     "ENTRY_HEADER_BYTES",
+    "SACK_RANGE_BYTES",
+    "WINDOW_FIELD_BYTES",
 ]
 
 #: An ordinary remote procedure call: transmitted immediately, caller waits.
@@ -41,6 +43,10 @@ KIND_SEND = "send"
 PACKET_HEADER_BYTES = 32
 #: Fixed header cost of each call/reply entry inside a packet.
 ENTRY_HEADER_BYTES = 24
+#: Cost of each SACK (lo, hi) range carried on a reply packet.
+SACK_RANGE_BYTES = 8
+#: Cost of the advertised flow-control window, when present.
+WINDOW_FIELD_BYTES = 4
 
 
 class StreamKey:
@@ -231,9 +237,28 @@ class BreakNotice:
 
 
 class ReplyPacket:
-    """A batch of replies plus acknowledgement state, receiver → sender."""
+    """A batch of replies plus acknowledgement state, receiver → sender.
 
-    __slots__ = ("key", "incarnation", "entries", "ack_call_seq", "completed_seq", "broken")
+    ``sack_ranges`` are selective acknowledgements: closed ``(lo, hi)``
+    seq ranges the receiver holds *beyond* the cumulative ``ack_call_seq``
+    (out-of-order arrivals waiting for the gap to fill).  The sender skips
+    them when retransmitting.  ``window`` is the receiver's advertised
+    flow-control window — the most in-flight calls it is willing to
+    absorb, derived from its executing/reply-log backlog; ``None`` means
+    no window (legacy mode).  Both are absent on legacy-config streams,
+    so legacy packets remain byte-identical.
+    """
+
+    __slots__ = (
+        "key",
+        "incarnation",
+        "entries",
+        "ack_call_seq",
+        "completed_seq",
+        "broken",
+        "sack_ranges",
+        "window",
+    )
 
     def __init__(
         self,
@@ -243,6 +268,8 @@ class ReplyPacket:
         ack_call_seq: int,
         completed_seq: int,
         broken: Optional[BreakNotice] = None,
+        sack_ranges: Tuple[Tuple[int, int], ...] = (),
+        window: Optional[int] = None,
     ) -> None:
         self.key = key
         self.incarnation = incarnation
@@ -253,16 +280,28 @@ class ReplyPacket:
         #: (covers sends, whose normal completions carry no reply entry).
         self.completed_seq = completed_seq
         self.broken = broken
+        self.sack_ranges = tuple(sack_ranges)
+        self.window = window
 
     @property
     def size(self) -> int:
-        return PACKET_HEADER_BYTES + sum(entry.size for entry in self.entries)
+        size = PACKET_HEADER_BYTES + sum(entry.size for entry in self.entries)
+        size += SACK_RANGE_BYTES * len(self.sack_ranges)
+        if self.window is not None:
+            size += WINDOW_FIELD_BYTES
+        return size
 
     def __repr__(self) -> str:
-        return "<ReplyPacket inc=%d n=%d ack=%d done=%d%s>" % (
+        extras = ""
+        if self.sack_ranges:
+            extras += " sack=%r" % (list(self.sack_ranges),)
+        if self.window is not None:
+            extras += " win=%d" % self.window
+        return "<ReplyPacket inc=%d n=%d ack=%d done=%d%s%s>" % (
             self.incarnation,
             len(self.entries),
             self.ack_call_seq,
             self.completed_seq,
+            extras,
             " BROKEN" if self.broken else "",
         )

@@ -1,0 +1,73 @@
+"""The seed corpus's schedules also pass under the adaptive transport.
+
+The corpus digests are recorded against the legacy (go-back-N, fixed-RTO)
+transport, so a digest comparison is meaningless here — the adaptive
+transport legitimately changes timing, packet counts and batch shapes.
+What must NOT change is the *verdict*: every oracle and monitor invariant
+(exactly-once, in-order resolution, liveness, conservation) holds under
+the windowed transport for the exact same fault schedules that the legacy
+transport survives.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.engine import run_one
+from repro.chaos.schedule import ChaosSchedule
+from repro.chaos.seeds import corpus_paths, load_seed
+from repro.chaos.workloads import (
+    CHAOS_ADAPTIVE_STREAM_CONFIG,
+    CHAOS_STREAM_CONFIG,
+    create_workload,
+)
+
+CORPUS = os.path.join(os.path.dirname(__file__), "seeds")
+
+
+def _corpus():
+    return corpus_paths(CORPUS)
+
+
+@pytest.mark.parametrize("path", _corpus(), ids=os.path.basename)
+def test_corpus_schedule_passes_under_adaptive_transport(path):
+    record = load_seed(path)
+    result = run_one(
+        record["workload"],
+        int(record["seed"]),
+        intensity=record.get("intensity", "default"),
+        schedule=ChaosSchedule.from_dict(record["schedule"]),
+        profile="adaptive",
+    )
+    assert result.verdict == "pass", (
+        "%s fails under the adaptive transport: problems=%r violations=%r"
+        % (path, result.problems, result.violations)
+    )
+
+
+def test_workload_profile_selection():
+    workload = create_workload("echo")
+    assert workload.stream_config("legacy") is CHAOS_STREAM_CONFIG
+    assert workload.stream_config("adaptive") is CHAOS_ADAPTIVE_STREAM_CONFIG
+    with pytest.raises(ValueError):
+        workload.stream_config("turbo")
+
+
+def test_adaptive_profile_is_actually_adaptive():
+    config = CHAOS_ADAPTIVE_STREAM_CONFIG
+    assert config.selective_retransmit
+    assert config.adaptive_batching
+    assert config.adaptive_rto
+    assert config.max_inflight_calls > 0
+    legacy = CHAOS_STREAM_CONFIG
+    assert not legacy.selective_retransmit
+    assert not legacy.adaptive_batching
+    assert not legacy.adaptive_rto
+    assert legacy.max_inflight_calls == 0
+
+
+def test_adaptive_run_is_deterministic():
+    first = run_one("echo", seed=3, profile="adaptive")
+    second = run_one("echo", seed=3, profile="adaptive")
+    assert first.digest() == second.digest()
+    assert first.verdict == "pass"

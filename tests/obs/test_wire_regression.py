@@ -129,7 +129,9 @@ def test_fig31_grades_delivery_is_exactly_once_and_ordered():
 
 
 def test_e1_rpc_wire_message_count_is_pinned():
-    system = build_echo_system(StreamConfig().unbuffered())
+    # Paper-replication baseline: the pinned counts are a property of the
+    # 1988 fixed-function transport, so E1 runs under the legacy config.
+    system = build_echo_system(StreamConfig.legacy().unbuffered())
 
     def main(ctx):
         echo = ctx.lookup("server", "echo")
@@ -143,7 +145,7 @@ def test_e1_rpc_wire_message_count_is_pinned():
 
 
 def test_e1_stream_wire_message_count_is_pinned():
-    config = StreamConfig(
+    config = StreamConfig.legacy(
         batch_size=16,
         reply_batch_size=16,
         max_buffer_delay=2.0,

@@ -10,7 +10,11 @@ from repro.streams import StreamConfig
 
 from .helpers import build_echo_world, run_main
 
-FAST = StreamConfig(
+# Legacy fixed-RTO transport: these interleavings were pinned against its
+# exact retransmission ladder (5.0 + 5.0 + 5.0 before a break); the
+# adaptive transport's exponential backoff shifts break times, which is
+# covered separately in test_adaptive_transport.py.
+FAST = StreamConfig.legacy(
     batch_size=4, max_buffer_delay=1.0, rto=5.0, max_retries=2, auto_restart=True
 )
 
