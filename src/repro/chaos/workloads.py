@@ -34,6 +34,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Tuple
 
 from repro.core.exceptions import ArgusError
+from repro.core.promise import Promise
 from repro.entities.system import ArgusSystem
 from repro.streams.config import StreamConfig
 from repro.types.signatures import INT, STRING, HandlerType
@@ -557,9 +558,141 @@ class KvWorkload(Workload):
         return problems
 
 
+# ----------------------------------------------------------------------
+# vat variants — the same worlds driven by promise continuations (PR 6)
+# ----------------------------------------------------------------------
+# Outcomes are recorded inside when_resolved callbacks instead of blocking
+# claims, so the driver process never waits per call; it only claims one
+# final Promise.all gather over the recording continuations.  Outcome
+# *order* is therefore resolution order, not call order — deterministic
+# for a given seed, but digests are not comparable with the blocking
+# variants (each vat workload grows its own seed corpus).
+
+
+def _record_into(outcomes: List[Outcome], key: str):
+    """A ``when_resolved`` callback appending ``(key, tag, value)``."""
+
+    def record(outcome) -> None:
+        if outcome.is_normal:
+            results = outcome.results
+            if len(results) == 0:
+                value = None
+            elif len(results) == 1:
+                value = results[0]
+            else:
+                value = results
+            outcomes.append((key, "ok", value))
+        else:
+            outcomes.append((key, outcome.exception.condition, None))
+
+    return record
+
+
+class EchoVatWorkload(EchoWorkload):
+    """The echo world with continuation-recorded outcomes."""
+
+    name = "echo_vat"
+
+    def driver(self, ctx):
+        echo = ctx.lookup("server", "echo")
+        outcomes: List[Outcome] = []
+        recorded: List[Promise] = []
+        index = 0
+        for _ in range(self.n_batches):
+            yield ctx.sleep(2.0)
+            for _ in range(self.batch):
+                key = "call%02d" % index
+                try:
+                    promise = echo.stream(index)
+                except ArgusError as exc:
+                    outcomes.append((key, exc.condition, None))
+                else:
+                    recorded.append(
+                        promise.when_resolved(_record_into(outcomes, key))
+                    )
+                index += 1
+            try:
+                echo.flush()
+            except ArgusError:
+                pass
+        # One blocking claim for the whole run: the gather over the
+        # recording continuations (each fulfils after appending).
+        yield Promise.all(ctx.env, recorded).claim()
+        return outcomes
+
+
+class KvVatWorkload(KvWorkload):
+    """The kv world with continuation-recorded adds (no round barrier).
+
+    Add rounds are issued on the same sleep cadence as :class:`KvWorkload`
+    but nothing blocks between rounds — round *j+1*'s calls can be in
+    flight while round *j*'s replies are still arriving, which is exactly
+    the overlap the continuation layer exists to allow.  The base-4
+    ledger oracle is interleaving-proof (per-round deltas are distinct
+    digits), so every check still holds verbatim.
+    """
+
+    name = "kv_vat"
+
+    def driver(self, ctx):
+        outcomes: List[Outcome] = []
+        recorded: List[Promise] = []
+        handles = {
+            "shard%d" % s: ctx.lookup("shard%d" % s, "add")
+            for s in range(self.n_shards)
+        }
+        order_rng = ctx.system.rng.stream("workload.kv")
+        for j in range(self.rounds):
+            yield ctx.sleep(2.5)
+            keys = list(range(self.n_keys))
+            order_rng.shuffle(keys)
+            for k in keys:
+                key = "add:key%d:r%d" % (k, j)
+                handle = handles[self.shard_of(k)]
+                try:
+                    promise = handle.stream("key%d" % k, 4 ** j)
+                except ArgusError as exc:
+                    outcomes.append((key, exc.condition, None))
+                else:
+                    recorded.append(
+                        promise.when_resolved(_record_into(outcomes, key))
+                    )
+            for handle in handles.values():
+                try:
+                    handle.flush()
+                except ArgusError:
+                    pass
+        # Wait for every add to settle (success or break), then read.
+        yield Promise.all(ctx.env, recorded).claim()
+        yield ctx.sleep(5.0)
+        reads: List[Promise] = []
+        for k in range(self.n_keys):
+            key = "get:key%d" % k
+            get = ctx.lookup(self.shard_of(k), "get")
+            try:
+                promise = get.stream("key%d" % k)
+            except ArgusError as exc:
+                outcomes.append((key, exc.condition, None))
+                continue
+            try:
+                get.flush()
+            except ArgusError:
+                pass
+            reads.append(promise.when_resolved(_record_into(outcomes, key)))
+        yield Promise.all(ctx.env, reads).claim()
+        return outcomes
+
+
 WORKLOADS: Dict[str, Any] = {
     workload.name: workload
-    for workload in (EchoWorkload, PipelineWorkload, BulkloadWorkload, KvWorkload)
+    for workload in (
+        EchoWorkload,
+        PipelineWorkload,
+        BulkloadWorkload,
+        KvWorkload,
+        EchoVatWorkload,
+        KvVatWorkload,
+    )
 }
 
 

@@ -7,6 +7,8 @@ from repro.compose.pipeline import (
     run_per_item,
     run_per_stream,
     run_phased,
+    run_vat_per_item,
+    run_vat_phased,
 )
 
 __all__ = [
@@ -19,4 +21,6 @@ __all__ = [
     "run_per_item",
     "run_per_stream",
     "run_phased",
+    "run_vat_per_item",
+    "run_vat_phased",
 ]

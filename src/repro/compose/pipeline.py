@@ -14,6 +14,13 @@ declarative :class:`Pipeline` description:
 
 All three return the list of final-stage results in item order, so tests
 can assert they agree while benchmarks compare their costs.
+
+Two further runners are built on the promise *continuation* layer
+(:meth:`~repro.core.promise.Promise.when_resolved` and friends, PR 6)
+instead of blocking claims: :func:`run_vat_phased` mirrors the Figure 3-1
+phase structure and :func:`run_vat_per_item` the per-item cascade, but
+neither consumes a waiting process per outstanding promise — each returns
+a promise for the result list, driven entirely by vat callbacks.
 """
 
 from __future__ import annotations
@@ -22,9 +29,19 @@ from typing import Any, List, Optional, Sequence
 
 from repro.compose.filters import SKIP, Filter, make_filter
 from repro.concurrency.promise_queue import PromiseQueue
+from repro.core.exceptions import ArgusError
+from repro.core.outcome import Outcome
 from repro.core.promise import Promise
 
-__all__ = ["Stage", "Pipeline", "run_phased", "run_per_stream", "run_per_item"]
+__all__ = [
+    "Stage",
+    "Pipeline",
+    "run_phased",
+    "run_per_stream",
+    "run_per_item",
+    "run_vat_phased",
+    "run_vat_per_item",
+]
 
 
 class Stage:
@@ -193,3 +210,177 @@ def run_per_item(ctx, pipeline: Pipeline, items: Sequence[Any]):
     co.arm_each(item_arm, list(enumerate(items)), label="item")
     yield co.run()
     return [value for index, value in enumerate(results) if index not in dropped]
+
+
+def _break_run(run: Promise, exc: Exception, where: str) -> None:
+    """Resolve *run* from an exception a pipeline callback raised."""
+    if run.ready():
+        return
+    if isinstance(exc, ArgusError):
+        run.resolve(Outcome.exceptional(exc))
+    else:
+        run.resolve(Outcome.failure("%s raised %r" % (where, exc)))
+
+
+def run_vat_phased(ctx, pipeline: Pipeline, items: Sequence[Any]) -> Promise:
+    """Figure 3-1 structure on the continuation layer (non-blocking).
+
+    Same phase discipline as :func:`run_phased` — every call of stage *i*
+    is issued (and the stream flushed) before any call of stage *i+1*, and
+    stage *i+1* starts only once all stage-*i* promises have resolved —
+    but the synchronization is a :meth:`Promise.all` continuation instead
+    of a process blocked in sequential claims.  Issues the same calls at
+    the same simulated times, so the wire trace matches ``run_phased``
+    (the golden-equivalence test pins this).
+
+    Returns a :class:`Promise` for the final-stage result list; a broken
+    stage call or a raising filter breaks it.
+    """
+    env = ctx.env
+    run = Promise(env, label="vat_phased")
+
+    def start_stage(position: int, values: List[Any], live: List[int]) -> None:
+        if run.ready():
+            return
+        if position == len(pipeline.stages):
+            run.resolve(Outcome.normal([values[index] for index in live]))
+            return
+        stage = pipeline.stages[position]
+        ref = ctx.lookup(stage.guardian, stage.handler)
+        calls: List = []  # (item index, promise) in issue order
+
+        def step(cursor: int) -> None:
+            # Apply the filter for live[cursor] and issue its call, then
+            # continue — looping inline while the filter is free, bouncing
+            # off the calendar (call_in) to charge non-zero filter cost
+            # exactly where run_phased's ctx.sleep would.
+            while True:
+                index = live[cursor]
+                try:
+                    args = stage.filter(values[index], items[index])
+                except Exception as exc:
+                    _break_run(run, exc, "filter %r" % stage.filter.name)
+                    return
+                if args is not SKIP:
+                    calls.append((index, ref.stream(*args)))
+                cursor += 1
+                if cursor == len(live):
+                    ref.flush()
+                    gather()
+                    return
+                if stage.filter.cost > 0:
+                    env.call_in(stage.filter.cost, step, cursor)
+                    return
+
+        def gather() -> None:
+            if not calls:
+                start_stage(position + 1, values, [])
+                return
+            gathered = Promise.all(env, [promise for _index, promise in calls])
+
+            def settle(outcome: Outcome) -> None:
+                if run.ready():
+                    return
+                if not outcome.is_normal:
+                    run.resolve(outcome)
+                    return
+                for (index, _promise), value in zip(calls, outcome.results[0]):
+                    values[index] = value
+                start_stage(
+                    position + 1, values, [index for index, _promise in calls]
+                )
+
+            gathered._subscribe(settle)
+
+        if not live:
+            ref.flush()
+            start_stage(position + 1, values, live)
+        elif stage.filter.cost > 0:
+            env.call_in(stage.filter.cost, step, 0)
+        else:
+            step(0)
+
+    start_stage(0, [None] * len(items), list(range(len(items))))
+    return run
+
+
+def run_vat_per_item(ctx, pipeline: Pipeline, items: Sequence[Any]) -> Promise:
+    """§4.3's per-item cascade as one continuation chain per item.
+
+    Where :func:`run_per_item` spawns a coenter arm (a full simulated
+    process, with its own agent and streams) per data item, this walks
+    every item down the cascade with ``when_resolved`` hops on the shared
+    context's streams — per-item overhead is one vat callback per stage
+    hop.  Items progress independently: item 0 may be claiming stage 2
+    while item 1 still waits on stage 0.
+
+    Returns a :class:`Promise` for the result list (skipped items
+    omitted, item order preserved); the first broken call or raising
+    filter breaks it.
+    """
+    env = ctx.env
+    run = Promise(env, label="vat_per_item")
+    count = len(items)
+    if count == 0:
+        run.resolve(Outcome.normal([]))
+        return run
+    results: List[Any] = [None] * count
+    dropped: set = set()
+    state = {"remaining": count}
+
+    def finish_one() -> None:
+        state["remaining"] -= 1
+        if state["remaining"] == 0 and not run.ready():
+            run.resolve(
+                Outcome.normal(
+                    [
+                        value
+                        for index, value in enumerate(results)
+                        if index not in dropped
+                    ]
+                )
+            )
+
+    def do_stage(index: int, item: Any, position: int, value: Any) -> None:
+        if run.ready():
+            return
+        if position == len(pipeline.stages):
+            results[index] = value
+            finish_one()
+            return
+        stage = pipeline.stages[position]
+        ref = ctx.lookup(stage.guardian, stage.handler)
+
+        def apply_and_call() -> None:
+            if run.ready():
+                return
+            try:
+                args = stage.filter(value, item)
+            except Exception as exc:
+                _break_run(run, exc, "filter %r" % stage.filter.name)
+                return
+            if args is SKIP:
+                dropped.add(index)
+                finish_one()
+                return
+            promise = ref.stream(*args)
+            ref.flush()
+
+            def on_outcome(outcome: Outcome) -> None:
+                if run.ready():
+                    return
+                if not outcome.is_normal:
+                    run.resolve(outcome)
+                    return
+                do_stage(index, item, position + 1, Promise._unwrap(outcome))
+
+            promise._subscribe(on_outcome)
+
+        if stage.filter.cost > 0:
+            env.call_in(stage.filter.cost, apply_and_call)
+        else:
+            apply_and_call()
+
+    for index, item in enumerate(items):
+        do_stage(index, item, 0, None)
+    return run

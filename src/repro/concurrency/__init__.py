@@ -11,6 +11,7 @@ from repro.concurrency.critical import (
 from repro.concurrency.fork import fork
 from repro.concurrency.promise_queue import PromiseQueue, QueueClosed
 from repro.concurrency.tree import PromiseTree, TreeNode
+from repro.concurrency.vat import Vat, vat_of
 
 __all__ = [
     "Coenter",
@@ -19,10 +20,12 @@ __all__ = [
     "PromiseTree",
     "QueueClosed",
     "TreeNode",
+    "Vat",
     "WoundedError",
     "critical_depth",
     "critical_section",
     "fork",
     "is_wounded",
     "terminate",
+    "vat_of",
 ]

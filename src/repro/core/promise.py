@@ -14,11 +14,24 @@ the non-blocking probe.  Promises are strongly typed: a
 and declared exceptions may be, and the runtime enforces it when the promise
 resolves — so, unlike MultiLisp futures, no per-access runtime check is ever
 needed (benchmark E7 measures exactly this difference).
+
+Beyond the paper's blocking ``claim``, this module provides a
+*continuation* layer modelled on the E-rights vat scheme (0install's
+``async.mli``; see SNIPPETS.md Snippet 3): :meth:`Promise.when_resolved`,
+:meth:`Promise.when_fulfilled` and :meth:`Promise.when_broken` register
+callbacks dispatched through the environment's
+:class:`~repro.concurrency.vat.Vat`, returning *derived* promises for the
+callback results so chains compose; :meth:`Promise.all`,
+:meth:`Promise.any` and :meth:`Promise.race` gather many promises into
+one.  Continuations cost one vat-queue entry per registration instead of
+one simulated process per outstanding promise, which is what lets a
+single process hold 10^5+ pending promises (``benchmarks/perf/vat_bench.py``
+measures exactly this difference).
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Iterable, List, Optional
 
 from repro.core.exceptions import (
     ArgusError,
@@ -33,6 +46,35 @@ from repro.types.checking import TypeViolation, check_results, check_value
 from repro.types.signatures import PromiseType
 
 __all__ = ["Promise", "BLOCKED", "READY"]
+
+#: Lazily bound :func:`repro.concurrency.vat.vat_of` (broken import cycle:
+#: the concurrency package imports this module at load time).
+_vat_of = None
+
+
+def _get_vat(env: Environment):
+    global _vat_of
+    if _vat_of is None:
+        from repro.concurrency.vat import vat_of
+
+        _vat_of = vat_of
+    return _vat_of(env)
+
+
+def _ambient_span(env: Environment):
+    """The causal span of the currently running activity, if any.
+
+    Inside a simulated process this is the process's span; inside a vat
+    callback it is the span the continuation was registered under — so
+    continuation chains keep threading the original caller's trace.
+    """
+    active = env.active_process
+    if active is not None:
+        return active.span
+    vat = env.vat
+    if vat is not None:
+        return vat.current_span
+    return None
 
 #: State constants (the paper's two promise states).
 BLOCKED = "blocked"
@@ -53,6 +95,7 @@ class Promise:
         env: Environment,
         ptype: Optional[PromiseType] = None,
         label: str = "",
+        outcome: Optional[Outcome] = None,
     ) -> None:
         if ptype is not None and not isinstance(ptype, PromiseType):
             raise TypeError("ptype must be a PromiseType, got %r" % (ptype,))
@@ -64,13 +107,58 @@ class Promise:
         self.created_at = env.now
         self._outcome: Optional[Outcome] = None
         self._waiters: List[Event] = []
+        #: Registered continuations: None while none exist, a single
+        #: ``(fn, span)`` tuple for one (the overwhelmingly common case —
+        #: at 10^5 pending promises the saved list is megabytes), a list
+        #: of such tuples beyond that.
+        self._continuations: Any = None
         #: Number of claim operations performed (used by benchmarks).
         self.claim_count = 0
+        if outcome is not None:
+            # Born ready (make_fulfilled / make_broken): the outcome is
+            # stored at construction and no resolve() transition ever
+            # happens, so the created event carries resolved=True for the
+            # lifecycle monitor's benefit.
+            if not isinstance(outcome, Outcome):
+                raise TypeError(
+                    "outcome must be an Outcome, got %r" % (outcome,)
+                )
+            self._outcome = self._coerce(outcome)
         tracer = env.tracer
         if tracer is not None:
-            tracer.emit(
-                "promise.created", promise_id=self.promise_id, label=label
-            )
+            if self._outcome is not None:
+                tracer.emit(
+                    "promise.created",
+                    promise_id=self.promise_id,
+                    label=label,
+                    resolved=True,
+                )
+            else:
+                tracer.emit(
+                    "promise.created", promise_id=self.promise_id, label=label
+                )
+
+    @classmethod
+    def make_fulfilled(
+        cls,
+        env: Environment,
+        *results: Any,
+        ptype: Optional[PromiseType] = None,
+        label: str = "",
+    ) -> "Promise":
+        """A promise born ready with a normal outcome (0install's ``return``)."""
+        return cls(env, ptype, label, outcome=Outcome.normal(*results))
+
+    @classmethod
+    def make_broken(
+        cls,
+        env: Environment,
+        exception: ArgusError,
+        ptype: Optional[PromiseType] = None,
+        label: str = "",
+    ) -> "Promise":
+        """A promise born ready with an exceptional outcome."""
+        return cls(env, ptype, label, outcome=Outcome.exceptional(exception))
 
     def __repr__(self) -> str:
         tag = " %r" % self.label if self.label else ""
@@ -189,6 +277,15 @@ class Promise:
                     waiter.event.succeed(self._outcome)
             elif not waiter.triggered:
                 self._deliver(waiter, self._outcome)
+        continuations, self._continuations = self._continuations, None
+        if continuations is not None:
+            vat = _get_vat(self.env)
+            outcome = self._outcome
+            if type(continuations) is tuple:
+                vat.do_soon(continuations[0], outcome, span=continuations[1])
+            else:
+                for fn, span in continuations:
+                    vat.do_soon(fn, outcome, span=span)
 
     def resolve_normal(self, *results: Any) -> None:
         """Convenience: resolve with a normal outcome."""
@@ -275,6 +372,260 @@ class Promise:
             callback(self)
 
         event.callbacks.append(run)
+
+    # ------------------------------------------------------------------
+    # Continuations (the vat layer; see module docstring)
+    # ------------------------------------------------------------------
+    def _subscribe(self, fn: Callable[[Outcome], None]) -> None:
+        """Schedule ``fn(outcome)`` on the vat once the promise is ready.
+
+        The registering activity's causal span is captured so the callback
+        runs under it (continuation hops stay on the caller's trace).  If
+        the promise is already ready, the callback is still deferred to the
+        vat — continuations *never* run synchronously inside the register
+        call, which is what makes registration order the only ordering a
+        caller has to reason about.
+        """
+        span = None
+        if self.env.tracer is not None:
+            span = _ambient_span(self.env)
+        if self._outcome is not None:
+            _get_vat(self.env).do_soon(fn, self._outcome, span=span)
+        else:
+            registered = self._continuations
+            if registered is None:
+                self._continuations = (fn, span)
+            elif type(registered) is tuple:
+                self._continuations = [registered, (fn, span)]
+            else:
+                registered.append((fn, span))
+
+    def _chain(
+        self, kind: str, callback: Callable[[Any], Any]
+    ) -> "Promise":
+        """Register *callback* and return the derived promise for its result."""
+        derived = Promise(
+            self.env, label="%s(#%d)" % (kind, self.promise_id)
+        )
+        tracer = self.env.tracer
+        if tracer is not None:
+            tracer.emit(
+                "promise.chained",
+                promise_id=self.promise_id,
+                derived_id=derived.promise_id,
+                kind=kind,
+                ready=self._outcome is not None,
+            )
+
+        def run(outcome: Outcome) -> None:
+            # A continuation observing the value is a claim: count it and
+            # trace it, tagged so the lifecycle monitor can tell it apart
+            # from a blocking claim (it is always ready=True by nature).
+            self.claim_count += 1
+            active = self.env.tracer
+            if active is not None:
+                active.emit(
+                    "promise.claimed",
+                    promise_id=self.promise_id,
+                    ready=True,
+                    via="continuation",
+                )
+            try:
+                if kind == "when_fulfilled":
+                    if not outcome.is_normal:
+                        derived.resolve(outcome)
+                        return
+                    result = callback(self._unwrap(outcome))
+                elif kind == "when_broken":
+                    if outcome.is_normal:
+                        derived.resolve(outcome)
+                        return
+                    result = callback(outcome.exception)
+                else:
+                    result = callback(outcome)
+            except ArgusError as exc:
+                derived.resolve(Outcome.exceptional(exc))
+                return
+            except Exception as exc:
+                derived.resolve(
+                    Outcome.failure(
+                        "%s continuation for promise #%d crashed: %r"
+                        % (kind, self.promise_id, exc)
+                    )
+                )
+                return
+            self._settle(derived, result)
+
+        self._subscribe(run)
+        return derived
+
+    def on_resolved(self, fn: Callable[[Outcome], None]) -> None:
+        """Fire-and-forget continuation: ``fn(outcome)`` on the vat.
+
+        The consumption primitive under :meth:`when_resolved`, without
+        the derived promise — one ``(fn, span)`` queue entry is the
+        *entire* per-promise cost, which is what the 10^5-pending-promise
+        benchmark measures.  Use this when nothing downstream chains on
+        the callback's result; use :meth:`when_resolved` when something
+        does.  Fires exactly once, even if already ready (deferred to the
+        vat, never synchronous).
+        """
+        self._subscribe(fn)
+
+    def when_resolved(self, callback: Callable[[Outcome], Any]) -> "Promise":
+        """Run ``callback(outcome)`` on the vat once this promise is ready.
+
+        Fires exactly once, whether the promise fulfils or breaks, and
+        even if it was already ready at registration time.  Returns a
+        derived promise for the callback's result: return a plain value
+        (or None) to fulfil it, return a :class:`Promise` to forward that
+        promise's eventual outcome (flattening), return an
+        :class:`~repro.core.outcome.Outcome` to resolve it verbatim, or
+        raise an :class:`~repro.core.exceptions.ArgusError` to break it.
+        """
+        return self._chain("when_resolved", callback)
+
+    def when_fulfilled(self, callback: Callable[[Any], Any]) -> "Promise":
+        """Run ``callback(value)`` once this promise fulfils.
+
+        *value* is the claim value (no results → None, one → the value,
+        several → a tuple).  If this promise breaks instead, *callback*
+        is skipped and the broken outcome passes through to the derived
+        promise — so exceptions propagate down a ``when_fulfilled`` chain
+        exactly like values do.
+        """
+        return self._chain("when_fulfilled", callback)
+
+    def when_broken(self, callback: Callable[[ArgusError], Any]) -> "Promise":
+        """Run ``callback(exception)`` once this promise breaks.
+
+        The catch arm: if this promise fulfils, *callback* is skipped and
+        the normal outcome passes through to the derived promise.  The
+        callback's return value fulfils the derived promise (recovery);
+        raising breaks it again.
+        """
+        return self._chain("when_broken", callback)
+
+    def _settle(self, derived: "Promise", result: Any) -> None:
+        """Resolve *derived* from a continuation callback's return value."""
+        if isinstance(result, Promise):
+            result._subscribe(derived.resolve)
+        elif isinstance(result, Outcome):
+            derived.resolve(result)
+        elif result is None:
+            derived.resolve(Outcome.normal())
+        else:
+            derived.resolve(Outcome.normal(result))
+
+    @staticmethod
+    def _unwrap(outcome: Outcome) -> Any:
+        """Claim-value view of a normal outcome (0 → None, 1 → value, n → tuple)."""
+        results = outcome.results
+        if len(results) == 0:
+            return None
+        if len(results) == 1:
+            return results[0]
+        return results
+
+    # ------------------------------------------------------------------
+    # Gathers (vat-dispatched; contrast all_ready/any_ready below, which
+    # are event-layer and need a waiting process)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def all(env: Environment, promises: Iterable["Promise"]) -> "Promise":
+        """A promise for the list of all claim values.
+
+        Fulfils with a list (in input order) once every input fulfils;
+        breaks with the first broken input's outcome as soon as any input
+        breaks (remaining inputs are not waited for).  ``all`` of no
+        promises fulfils immediately with ``[]``.  Duplicate inputs each
+        contribute their own slot.
+        """
+        inputs = list(promises)
+        gathered = Promise(env, label="all[%d]" % len(inputs))
+        count = len(inputs)
+        if count == 0:
+            gathered.resolve(Outcome.normal([]))
+            return gathered
+        values: List[Any] = [None] * count
+        state = {"remaining": count, "done": False}
+
+        def arm(index: int) -> Callable[[Outcome], None]:
+            def on_ready(outcome: Outcome) -> None:
+                if state["done"]:
+                    return
+                if not outcome.is_normal:
+                    state["done"] = True
+                    gathered.resolve(outcome)
+                    return
+                values[index] = Promise._unwrap(outcome)
+                state["remaining"] -= 1
+                if state["remaining"] == 0:
+                    state["done"] = True
+                    gathered.resolve(Outcome.normal(values))
+
+            return on_ready
+
+        for index, promise in enumerate(inputs):
+            promise._subscribe(arm(index))
+        return gathered
+
+    @staticmethod
+    def any(env: Environment, promises: Iterable["Promise"]) -> "Promise":
+        """A promise for the first *fulfilled* input's claim value.
+
+        Breaks only if every input breaks (with the first broken input's
+        outcome).  ``any`` of no promises breaks immediately with
+        ``failure``.
+        """
+        inputs = list(promises)
+        gathered = Promise(env, label="any[%d]" % len(inputs))
+        if not inputs:
+            gathered.resolve(Outcome.failure("any() of no promises"))
+            return gathered
+        state = {"remaining": len(inputs), "done": False, "broken": None}
+
+        def on_ready(outcome: Outcome) -> None:
+            if state["done"]:
+                return
+            if outcome.is_normal:
+                state["done"] = True
+                gathered.resolve(outcome)
+                return
+            if state["broken"] is None:
+                state["broken"] = outcome
+            state["remaining"] -= 1
+            if state["remaining"] == 0:
+                state["done"] = True
+                gathered.resolve(state["broken"])
+
+        for promise in inputs:
+            promise._subscribe(on_ready)
+        return gathered
+
+    @staticmethod
+    def race(env: Environment, promises: Iterable["Promise"]) -> "Promise":
+        """A promise settling exactly like the first input to resolve.
+
+        Ties (several inputs already ready, or resolved at the same
+        timestamp) go to the earliest-registered input — vat FIFO order.
+        ``race`` of no promises breaks immediately with ``failure``.
+        """
+        inputs = list(promises)
+        gathered = Promise(env, label="race[%d]" % len(inputs))
+        if not inputs:
+            gathered.resolve(Outcome.failure("race() of no promises"))
+            return gathered
+        state = {"done": False}
+
+        def on_ready(outcome: Outcome) -> None:
+            if not state["done"]:
+                state["done"] = True
+                gathered.resolve(outcome)
+
+        for promise in inputs:
+            promise._subscribe(on_ready)
+        return gathered
 
 
 class _OutcomeWaiter:

@@ -71,6 +71,8 @@ __all__ = [
     "EV_PROMISE_RESOLVED",
     "EV_PROMISE_CLAIMED",
     "EV_PROMISE_CLAIM_LATENCY",
+    "EV_PROMISE_CHAINED",
+    "EV_VAT_TURN",
 ]
 
 # -- sim layer ---------------------------------------------------------
@@ -117,6 +119,13 @@ EV_PROMISE_CREATED = "promise.created"
 EV_PROMISE_RESOLVED = "promise.resolved"
 EV_PROMISE_CLAIMED = "promise.claimed"
 EV_PROMISE_CLAIM_LATENCY = "promise.claim_latency"
+#: A continuation was registered: a derived promise chained off a base one.
+EV_PROMISE_CHAINED = "promise.chained"
+
+# -- vat layer ---------------------------------------------------------
+#: One vat drain completed (``callbacks`` run, ``pending`` left behind by
+#: an aborted drain — normally 0).
+EV_VAT_TURN = "vat.turn"
 
 
 def mint_span(env: Any) -> Tuple[int, int, int]:
@@ -136,6 +145,14 @@ def mint_span(env: Any) -> Tuple[int, int, int]:
     """
     active = env.active_process
     parent = active.span if active is not None else None
+    if parent is None:
+        # No process is running: we may be inside a vat callback (a
+        # promise continuation).  The vat carries the span the
+        # continuation was registered under, so calls issued from
+        # continuation hops keep nesting under the original caller.
+        vat = env.vat
+        if vat is not None:
+            parent = vat.current_span
     if parent is None:
         return (env.new_serial("trace"), env.new_serial("span"), 0)
     return (parent[0], env.new_serial("span"), parent[1])
@@ -458,6 +475,15 @@ def _agg_promise_claim_latency(metrics: Metrics, fields: Dict[str, Any]) -> None
     metrics.observe("promise.claim_latency", fields["wait"])
 
 
+def _agg_promise_chained(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("promise.chained", kind=fields["kind"])
+
+
+def _agg_vat_turn(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("vat.turns")
+    metrics.observe("vat.turn_callbacks", fields["callbacks"])
+
+
 def _agg_process_created(metrics: Metrics, fields: Dict[str, Any]) -> None:
     metrics.inc("sim.processes_created")
 
@@ -510,6 +536,8 @@ _AGGREGATORS = {
     EV_PROMISE_RESOLVED: _agg_promise_resolved,
     EV_PROMISE_CLAIMED: _agg_promise_claimed,
     EV_PROMISE_CLAIM_LATENCY: _agg_promise_claim_latency,
+    EV_PROMISE_CHAINED: _agg_promise_chained,
+    EV_VAT_TURN: _agg_vat_turn,
     EV_PROCESS_CREATED: _agg_process_created,
     EV_PROCESS_RESUMED: _agg_process_resumed,
     EV_PROCESS_FINISHED: _agg_process_finished,

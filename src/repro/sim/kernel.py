@@ -99,6 +99,12 @@ class Environment:
         #: tracing disabled).  Every instrumented layer reads this through
         #: its environment, so one attribute enables tracing everywhere.
         self.tracer = None
+        #: Attached :class:`~repro.concurrency.vat.Vat`, or None until the
+        #: first promise continuation is registered.  The vat drains its
+        #: callback queue through :meth:`call_soon`, so continuation
+        #: dispatch rides the fast callback lane with no per-promise
+        #: process overhead.
+        self.vat = None
 
     # ------------------------------------------------------------------
     # Introspection

@@ -7,8 +7,10 @@ from repro.chaos.schedule import ChaosSchedule, FaultOp
 from repro.chaos.workloads import WORKLOADS, KvWorkload, create_workload
 
 
-def test_roster_contains_the_four_workloads():
-    assert set(WORKLOADS) == {"echo", "pipeline", "bulkload", "kv"}
+def test_roster_contains_the_six_workloads():
+    assert set(WORKLOADS) == {
+        "echo", "pipeline", "bulkload", "kv", "echo_vat", "kv_vat",
+    }
     with pytest.raises(KeyError):
         create_workload("nope")
 

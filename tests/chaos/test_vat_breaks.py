@@ -1,0 +1,167 @@
+"""Broken promises under faults reach continuations exactly once (PR 6).
+
+Satellite 3: when a guardian crashes mid-chain, the stream layer breaks
+the outstanding promises, and the break must flow through the
+continuation layer the same way a value would — every registered
+``when_broken`` fires exactly once with the propagated exception, no
+``when_fulfilled`` body runs, nothing is orphaned, and the invariant
+monitors stay clean (the ``traced_system`` fixture re-asserts that at
+teardown).
+"""
+
+from repro.chaos.engine import run_one
+from repro.chaos.schedule import ChaosSchedule, FaultOp
+from repro.core.exceptions import ArgusError
+from repro.net import schedule_crash
+from repro.types import INT, HandlerType
+
+ECHO = HandlerType(args=[INT], returns=[INT])
+
+N_CALLS = 10
+
+
+def build_echo_world(traced_system):
+    system = traced_system(latency=1.0, kernel_overhead=0.1)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.2)
+        return x
+
+    server.create_handler("echo", ECHO, echo)
+    client = system.create_guardian("client")
+    return system, client
+
+
+def test_crash_breaks_every_chain_exactly_once(traced_system):
+    system, client = build_echo_world(traced_system)
+    # The server dies while calls are outstanding and never comes back.
+    schedule_crash(system.network, "node:server", at=2.0)
+
+    fulfilled = []
+    broken = {}  # call index -> [conditions seen]
+
+    def main(ctx):
+        echo_ref = ctx.lookup("server", "echo")
+        chains = []
+        for index in range(N_CALLS):
+            promise = echo_ref.stream(index)
+            derived = promise.when_fulfilled(
+                lambda value: fulfilled.append(value)
+            )
+            broken[index] = []
+            chains.append(
+                derived.when_broken(
+                    lambda exc, index=index: broken[index].append(exc.condition)
+                )
+            )
+            yield ctx.sleep(1.0)  # spread the calls across the crash
+        echo_ref.flush()
+        # Recovery chains fulfil once every break has been delivered.
+        done = yield from _claim_all(chains)
+        return done
+
+    def _claim_all(chains):
+        values = []
+        for chain in chains:
+            values.append((yield chain.claim()))
+        return values
+
+    process = client.spawn(main)
+    system.run(until=process)
+    # Calls before the crash echoed normally; the rest broke, each chain's
+    # when_broken exactly once, with a transport condition.
+    assert len(fulfilled) + sum(len(seen) for seen in broken.values()) == N_CALLS
+    assert fulfilled == sorted(fulfilled)
+    assert len(fulfilled) < N_CALLS, "the crash must actually break some calls"
+    for index, seen in broken.items():
+        if index < len(fulfilled):
+            assert seen == []
+        else:
+            assert len(seen) == 1, "when_broken fired %d times for call %d" % (
+                len(seen),
+                index,
+            )
+            assert seen[0] in ("unavailable", "failure")
+
+
+def test_broken_gather_breaks_exactly_once(traced_system):
+    from repro.core.promise import Promise
+
+    system, client = build_echo_world(traced_system)
+    schedule_crash(system.network, "node:server", at=2.0)
+    breaks = []
+
+    def main(ctx):
+        echo_ref = ctx.lookup("server", "echo")
+        promises = [echo_ref.stream(index) for index in range(N_CALLS)]
+        echo_ref.flush()
+        gathered = Promise.all(ctx.env, promises)
+        recovered = gathered.when_broken(lambda exc: breaks.append(exc.condition))
+        result = yield recovered.claim()
+        return result
+
+    process = client.spawn(main)
+    system.run(until=process)
+    # However many inputs broke, the gather broke once and recovered once.
+    assert len(breaks) == 1
+    assert breaks[0] in ("unavailable", "failure")
+
+
+def test_mid_chain_crash_skips_downstream_links(traced_system):
+    system, client = build_echo_world(traced_system)
+    schedule_crash(system.network, "node:server", at=2.0)
+    ran = []
+
+    def main(ctx):
+        echo_ref = ctx.lookup("server", "echo")
+        yield ctx.sleep(5.0)  # the server is already gone
+        promise = echo_ref.stream(1)
+        echo_ref.flush()
+        chain = (
+            promise.when_fulfilled(lambda value: ran.append("a") or value)
+            .when_fulfilled(lambda value: ran.append("b") or value)
+            .when_broken(lambda exc: exc.condition)
+        )
+        condition = yield chain.claim()
+        return condition
+
+    process = client.spawn(main)
+    condition = system.run(until=process)
+    # The break skipped both fulfilment links and surfaced at the end.
+    assert ran == []
+    assert condition in ("unavailable", "failure")
+
+
+def test_vat_workloads_survive_crash_campaigns():
+    """Engine-level: the vat workloads pass their oracles under the same
+    hostile schedule the blocking echo workload is tested with."""
+    for name, node in (("echo_vat", "node:server"), ("kv_vat", "node:shard1")):
+        result = run_one(
+            name,
+            seed=0,
+            schedule=ChaosSchedule(ops=[FaultOp("crash", [node], 3.0, 12.0)]),
+        )
+        assert result.driver_finished, name
+        assert result.verdict == "pass", (name, result.problems, result.violations)
+        tags = {tag for _key, tag, _value in result.outcomes}
+        assert tags - {"ok"}, "%s: the crash was not felt" % name
+
+
+def test_chain_break_exception_is_argus_error():
+    """The exception handed to when_broken is the ArgusError subclass the
+    blocking claim would have raised (not a wrapped repr)."""
+    from repro.core.promise import Promise
+    from repro.sim.kernel import Environment
+    from repro.core.exceptions import Unavailable
+    from repro.core.outcome import Outcome
+
+    env = Environment()
+    promise = Promise(env)
+    seen = []
+    promise.when_broken(lambda exc: seen.append(exc))
+    promise.resolve(Outcome.exceptional(Unavailable("node crashed")))
+    env.run()
+    assert len(seen) == 1
+    assert isinstance(seen[0], ArgusError)
+    assert seen[0].condition == "unavailable"

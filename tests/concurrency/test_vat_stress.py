@@ -1,0 +1,80 @@
+"""Vat scheduler stress runs (PR 6 tentpole scale check).
+
+Excluded from the default tier-1 run (see ``addopts`` in pyproject.toml);
+CI runs them in a dedicated ``vat-stress`` step with
+``pytest -m vat_stress``.  The point: one process — in fact *zero*
+simulated processes — can hold 10^5 pending promises and consume every
+resolution, which is exactly what the blocking ``claim`` model cannot do
+without 10^5 generators.
+"""
+
+import time
+
+import pytest
+
+from repro.core.outcome import Outcome
+from repro.core.promise import Promise
+from repro.sim.kernel import Environment
+
+N = 100_000
+
+
+@pytest.mark.vat_stress
+def test_hundred_thousand_pending_promises_zero_processes():
+    env = Environment()
+    promises = [Promise(env) for _ in range(N)]
+    state = {"consumed": 0}
+
+    def consume(outcome):
+        state["consumed"] += outcome.results[0]
+
+    start = time.perf_counter()
+    for promise in promises:
+        promise.on_resolved(consume)
+
+    def resolve_all():
+        for promise in promises:
+            promise.resolve(Outcome.normal(1))
+
+    env.call_in(1.0, resolve_all)
+    env.run()
+    elapsed = time.perf_counter() - start
+    assert state["consumed"] == N
+    assert env._next_pid == 0  # no simulated process was ever created
+    assert env.vat.callbacks_run == N
+    # Generous wall-clock budget (regression guard, not a benchmark —
+    # BENCH_PR6.json holds the real numbers): ~2s locally, 30s allowed.
+    assert elapsed < 30.0, "vat consumed %d promises in %.1fs" % (N, elapsed)
+
+
+@pytest.mark.vat_stress
+def test_hundred_thousand_promise_gather():
+    env = Environment()
+    promises = [Promise(env) for _ in range(N)]
+    gathered = Promise.all(env, promises)
+
+    def resolve_all():
+        for index, promise in enumerate(promises):
+            promise.resolve(Outcome.normal(index))
+
+    env.call_in(1.0, resolve_all)
+    env.run()
+    (values,) = gathered.outcome().results
+    assert len(values) == N and values[0] == 0 and values[-1] == N - 1
+    assert env._next_pid == 0
+
+
+@pytest.mark.vat_stress
+def test_deep_continuation_chain_does_not_recurse():
+    # 50k chained hops settle iteratively through vat drains; a recursive
+    # delivery scheme would blow the interpreter stack three orders of
+    # magnitude earlier.
+    env = Environment()
+    depth = 50_000
+    promise = Promise(env)
+    tail = promise
+    for _ in range(depth):
+        tail = tail.when_fulfilled(lambda value: value + 1)
+    promise.resolve(Outcome.normal(0))
+    env.run()
+    assert tail.outcome().results == (depth,)

@@ -198,3 +198,54 @@ def test_duplicate_packets_on_the_wire_are_not_violations():
     tracer.emit("stream.call_duplicate", stream="s", incarnation=0, seq=1)
     tracer.emit("stream.call_duplicate", stream="s", incarnation=0, seq=1)
     assert suite.violations == []
+
+
+# ----------------------------------------------------------------------
+# Continuation-driven claims (PR 6)
+# ----------------------------------------------------------------------
+def test_continuation_claim_after_resolve_is_clean():
+    env, tracer, suite = suite_on_fresh_tracer()
+    tracer.emit("promise.resolved", promise_id=7, status="normal", age=0.5, waiters=0)
+    tracer.emit("promise.claimed", promise_id=7, ready=True, via="continuation")
+    assert suite.violations == []
+
+
+def test_born_ready_promise_claim_is_clean():
+    """make_fulfilled / make_broken promises never emit promise.resolved;
+    their creation event carries resolved=True and counts as the
+    resolution (the PR 6 monitor fix)."""
+    env, tracer, suite = suite_on_fresh_tracer()
+    tracer.emit("promise.created", promise_id=3, label="", resolved=True)
+    tracer.emit("promise.claimed", promise_id=3, ready=True, via="continuation")
+    assert suite.violations == []
+    # ... and a later explicit resolve of that promise is still the bug.
+    with pytest.raises(MonitorViolation):
+        tracer.emit("promise.resolved", promise_id=3, status="normal", age=0.0, waiters=0)
+
+
+def test_plain_created_event_grants_nothing():
+    env, tracer, suite = suite_on_fresh_tracer()
+    tracer.emit("promise.created", promise_id=4, label="")
+    with pytest.raises(MonitorViolation) as excinfo:
+        tracer.emit("promise.claimed", promise_id=4, ready=True, via="continuation")
+    assert excinfo.value.monitor == "promise-lifecycle"
+
+
+def test_continuation_run_keeps_monitors_clean_end_to_end(traced_env):
+    """A real vat-driven consumption run through an installed suite: every
+    continuation claim is preceded by its resolution."""
+    from repro.core.outcome import Outcome
+    from repro.core.promise import Promise
+
+    env = traced_env
+    promises = [Promise(env) for _ in range(20)]
+    ready = Promise.make_fulfilled(env, "seed")
+    consumed = []
+    ready.when_resolved(lambda outcome: consumed.append(outcome.results))
+    for promise in promises:
+        promise.when_fulfilled(lambda value: consumed.append(value))
+    for index, promise in enumerate(promises):
+        env.call_in(1.0 + index, promise.resolve, Outcome.normal(index))
+    env.run()
+    assert len(consumed) == 21
+    assert env.tracer.monitors.violations == []
