@@ -36,6 +36,7 @@ class Message:
         "address",
         "payload",
         "payload_bytes",
+        "wire_bytes",
         "send_time",
     )
 
@@ -55,12 +56,11 @@ class Message:
         self.address = address
         self.payload = payload
         self.payload_bytes = payload_bytes
+        #: Total bytes on the wire including the datagram header.  A plain
+        #: attribute (not a property): the network reads it several times
+        #: per send on the hot path.
+        self.wire_bytes = HEADER_BYTES + payload_bytes
         self.send_time: float = -1.0
-
-    @property
-    def wire_bytes(self) -> int:
-        """Total bytes on the wire including the datagram header."""
-        return HEADER_BYTES + self.payload_bytes
 
     def __repr__(self) -> str:
         return "<Message #%d %s->%s/%s %dB>" % (

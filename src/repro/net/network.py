@@ -19,12 +19,16 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional, Set, Tuple
 
+from heapq import heappush
+
 from repro.net.message import Message
 from repro.sim.events import Event
 from repro.sim.kernel import Environment
 from repro.sim.rng import RngRegistry
 
 __all__ = ["Network", "Node", "NetworkStats", "NodeDown"]
+
+_INF = float("inf")
 
 #: Delivery callbacks receive the message; registered per (node, address).
 DeliveryHandler = Callable[[Message], None]
@@ -35,7 +39,23 @@ class NodeDown(Exception):
 
 
 class NetworkStats:
-    """Counters for benchmark reporting."""
+    """Counters for benchmark reporting.
+
+    Slotted: the send path bumps several counters per message, and slot
+    access is measurably cheaper than instance-dict access there.
+    """
+
+    __slots__ = (
+        "messages_sent",
+        "messages_delivered",
+        "messages_dropped_loss",
+        "messages_dropped_partition",
+        "messages_dropped_crash",
+        "messages_dropped_chaos",
+        "messages_duplicated",
+        "bytes_sent",
+        "kernel_calls",
+    )
 
     def __init__(self) -> None:
         self.messages_sent = 0
@@ -50,11 +70,11 @@ class NetworkStats:
 
     def snapshot(self) -> Dict[str, int]:
         """A plain-dict copy of all counters."""
-        return dict(self.__dict__)
+        return {name: getattr(self, name) for name in self.__slots__}
 
     def __repr__(self) -> str:
         return "NetworkStats(%s)" % ", ".join(
-            "%s=%d" % kv for kv in sorted(self.__dict__.items())
+            "%s=%d" % kv for kv in sorted(self.snapshot().items())
         )
 
 
@@ -238,76 +258,127 @@ class Network:
         Callers that do not wait for the CPU-free moment (the stream
         transport fires and forgets) pass ``want_done=False`` and get
         ``None`` back: no Event object is built for a result nobody reads.
-        """
-        src = self.node(message.src)
-        if not src.alive:
-            raise NodeDown("cannot send from crashed node %r" % (message.src,))
-        env = self.env
-        message.send_time = env.now
 
-        if message.src == message.dst:
-            dst = self.node(message.dst)
+        The body open-codes :meth:`transmission_time`, the NIC max and the
+        old ``_should_drop`` helper (same check order, same counters, same
+        RNG draws) — this is the hottest non-kernel path in the simulator;
+        see benchmarks/perf.
+        """
+        src_name = message.src
+        dst_name = message.dst
+        nodes = self._nodes
+        src = nodes.get(src_name)
+        if src is None:
+            self.node(src_name)  # raises the canonical KeyError
+        if not src.alive:
+            raise NodeDown("cannot send from crashed node %r" % (src_name,))
+        env = self.env
+        now = env._now
+        message.send_time = now
+
+        if src_name == dst_name:
             done = None
             if want_done:
                 done = Event(env)
                 done.succeed()
             # Delivered on the next simulation tick, no generator frame.
-            env.call_soon(self._finish_local, message, dst)
+            env.call_soon(self._finish_local, message, src)
             return done
 
-        self.stats.messages_sent += 1
-        self.stats.kernel_calls += 1
-        self.stats.bytes_sent += message.wire_bytes
+        wire_bytes = message.wire_bytes
+        stats = self.stats
+        stats.messages_sent += 1
+        stats.kernel_calls += 1
+        stats.bytes_sent += wire_bytes
         tracer = env.tracer
         if tracer is not None:
             tracer.emit(
                 "message.sent",
-                src=message.src,
-                dst=message.dst,
+                src=src_name,
+                dst=dst_name,
                 address=message.address,
-                bytes=message.wire_bytes,
+                bytes=wire_bytes,
                 payload=type(message.payload).__name__,
             )
-        busy = self.kernel_overhead + self.transmission_time(message)
+        bandwidth = self.bandwidth
+        busy = self.kernel_overhead
+        if bandwidth != _INF:
+            busy += wire_bytes / bandwidth
         # The sending NIC handles one message at a time: this message's
         # kernel call starts only once earlier ones are done.
-        send_start = max(env.now, self._nic_free.get(message.src, 0.0))
-        send_done = send_start + busy
-        self._nic_free[message.src] = send_done
+        nic = self._nic_free
+        free = nic.get(src_name)
+        if free is None or free < now:
+            send_done = now + busy
+        else:
+            send_done = free + busy
+        nic[src_name] = send_done
 
-        dropped = self._should_drop(message)
-        if not dropped:
-            deliveries = ((0.0, True),)
-            faults = self.link_faults
-            if faults is not None:
-                decision = faults.decide(message.src, message.dst)
-                if decision is not None:
-                    if decision is faults.DROP:
-                        self.stats.messages_dropped_chaos += 1
-                        self._trace_drop(message, "chaos")
-                        deliveries = ()
-                    else:
-                        deliveries = decision
-                        if len(deliveries) > 1:
-                            self.stats.messages_duplicated += len(deliveries) - 1
-            dst = self._nodes.get(message.dst)
-            if dst is not None:
-                for extra_delay, fifo in deliveries:
-                    flight = self.latency + extra_delay
+        # Drop checks, in the historical _should_drop order: partition,
+        # unknown destination, random loss.
+        partitions = self._partitions
+        if partitions and (
+            ((src_name, dst_name) if src_name <= dst_name else (dst_name, src_name))
+            in partitions
+        ):
+            stats.messages_dropped_partition += 1
+            self._trace_drop(message, "partition")
+        elif (dst := nodes.get(dst_name)) is None:
+            stats.messages_dropped_crash += 1
+            self._trace_drop(message, "no_such_node")
+        else:
+            loss_rate = self.loss_rate
+            if loss_rate > 0.0 and self.rng.stream("net.loss").random() < loss_rate:
+                stats.messages_dropped_loss += 1
+                self._trace_drop(message, "loss")
+            else:
+                faults = self.link_faults
+                if faults is None:
+                    # Fast path: exactly one FIFO delivery.
+                    flight = self.latency
                     if self.jitter:
-                        flight += self.rng.stream("net.jitter").uniform(0.0, self.jitter)
+                        flight += self.rng.stream("net.jitter").uniform(
+                            0.0, self.jitter
+                        )
                     arrival = send_done + flight
-                    if fifo:
-                        # FIFO per directed link: never deliver before an
-                        # earlier message.  Chaos-reordered copies and stray
-                        # duplicates skip the clamp (and leave the clock
-                        # alone): they took an independent slow path.
-                        link = (message.src, message.dst)
-                        arrival = max(arrival, self._link_clock.get(link, 0.0))
-                        self._link_clock[link] = arrival
+                    # FIFO per directed link: never deliver before an
+                    # earlier message.
+                    link = (src_name, dst_name)
+                    clock = self._link_clock
+                    prev = clock.get(link)
+                    if prev is not None and prev > arrival:
+                        arrival = prev
+                    clock[link] = arrival
                     # The receiving side pays a kernel call too, serialized
                     # on its own NIC — but only after the message arrives.
-                    env.call_at(arrival, self._arrive, message, dst)
+                    # Open-coded env.call_at (see the bucket layout in
+                    # repro.sim.kernel): `arrival` can never be in the
+                    # past here, and skipping the call frame is worth it
+                    # on the hottest non-kernel path in the simulator.
+                    buckets = env._buckets
+                    b = buckets.get(arrival)
+                    if b is None:
+                        bpool = env._bucket_pool
+                        if bpool:
+                            b = bpool.pop()
+                            lane = b[0]
+                            lane.append(self._arrive)
+                            lane.append((message, dst))
+                            buckets[arrival] = b
+                        else:
+                            buckets[arrival] = [
+                                [self._arrive, (message, dst)],
+                                0,
+                                None,
+                                0,
+                            ]
+                        heappush(env._times, arrival)
+                    else:
+                        lane = b[0]
+                        lane.append(self._arrive)
+                        lane.append((message, dst))
+                else:
+                    self._send_with_faults(message, dst, send_done, faults)
 
         if not want_done:
             return None
@@ -316,8 +387,42 @@ class Network:
         done = Event(env)
         done._ok = True
         done._value = None
-        env.schedule(done, send_done - env.now)
+        env.schedule(done, send_done - now)
         return done
+
+    def _send_with_faults(
+        self, message: Message, dst: "Node", send_done: float, faults
+    ) -> None:
+        """Chaos-enabled delivery: the injector may drop, delay, duplicate
+        or reorder; each resulting copy is delivered independently."""
+        env = self.env
+        deliveries = ((0.0, True),)
+        decision = faults.decide(message.src, message.dst)
+        if decision is not None:
+            if decision is faults.DROP:
+                self.stats.messages_dropped_chaos += 1
+                self._trace_drop(message, "chaos")
+                deliveries = ()
+            else:
+                deliveries = decision
+                if len(deliveries) > 1:
+                    self.stats.messages_duplicated += len(deliveries) - 1
+        for extra_delay, fifo in deliveries:
+            flight = self.latency + extra_delay
+            if self.jitter:
+                flight += self.rng.stream("net.jitter").uniform(0.0, self.jitter)
+            arrival = send_done + flight
+            if fifo:
+                # FIFO per directed link: never deliver before an earlier
+                # message.  Chaos-reordered copies and stray duplicates
+                # skip the clamp (and leave the clock alone): they took an
+                # independent slow path.
+                link = (message.src, message.dst)
+                arrival = max(arrival, self._link_clock.get(link, 0.0))
+                self._link_clock[link] = arrival
+            # The receiving side pays a kernel call too, serialized on its
+            # own NIC — but only after the message arrives.
+            env.call_at(arrival, self._arrive, message, dst)
 
     def _should_drop(self, message: Message) -> bool:
         if self.partitioned(message.src, message.dst):
@@ -368,22 +473,55 @@ class Network:
     def _arrive(self, message: Message, dst: Node) -> None:
         # Re-check conditions at arrival time: a partition or crash that
         # happened while the message was in flight still eats it.
-        if self.partitioned(message.src, message.dst):
-            self.stats.messages_dropped_partition += 1
-            self._trace_drop(message, "partition")
-            return
+        partitions = self._partitions
+        if partitions:
+            src_name = message.src
+            dst_name = message.dst
+            pair = (
+                (src_name, dst_name) if src_name <= dst_name else (dst_name, src_name)
+            )
+            if pair in partitions:
+                self.stats.messages_dropped_partition += 1
+                self._trace_drop(message, "partition")
+                return
         if not dst.alive:
             self.stats.messages_dropped_crash += 1
             self._trace_drop(message, "crash")
             return
         # Receiving kernel call, serialized on the destination NIC.
         self.stats.kernel_calls += 1
-        now = self.env.now
-        receive_start = max(now, self._nic_free.get(dst.name, 0.0))
+        env = self.env
+        now = env._now
+        nic = self._nic_free
+        free = nic.get(dst.name)
+        receive_start = now if free is None or free < now else free
         receive_done = receive_start + self.kernel_overhead
-        self._nic_free[dst.name] = receive_done
+        nic[dst.name] = receive_done
         if receive_done > now:
-            self.env.call_at(receive_done, self._finish_remote, message, dst)
+            # Open-coded env.call_at, as in send(): receive_done > now,
+            # so the past-check is vacuous.
+            buckets = env._buckets
+            b = buckets.get(receive_done)
+            if b is None:
+                bpool = env._bucket_pool
+                if bpool:
+                    b = bpool.pop()
+                    lane = b[0]
+                    lane.append(self._finish_remote)
+                    lane.append((message, dst))
+                    buckets[receive_done] = b
+                else:
+                    buckets[receive_done] = [
+                        [self._finish_remote, (message, dst)],
+                        0,
+                        None,
+                        0,
+                    ]
+                heappush(env._times, receive_done)
+            else:
+                lane = b[0]
+                lane.append(self._finish_remote)
+                lane.append((message, dst))
         else:
             self._finish_remote(message, dst)
 
@@ -400,9 +538,11 @@ class Network:
                 src=message.src,
                 dst=message.dst,
                 local=False,
-                latency=self.env.now - message.send_time,
+                latency=self.env._now - message.send_time,
             )
-        dst._deliver(message)
+        handler = dst._handlers.get(message.address)
+        if handler is not None:
+            handler(message)
 
     def _forget_node_clocks(self, name: str) -> None:
         """Drop *name*'s NIC backlog and link FIFO clocks (node crashed)."""

@@ -255,3 +255,12 @@ class AnyOf(Condition):
 
     def __init__(self, env: Environment, events: List[Event]) -> None:
         super().__init__(env, lambda evts, count: count >= 1, events)
+
+
+# Let the kernel's run loop inline the exact-class fire path for these two
+# hot classes without an import cycle (subclasses still dispatch through
+# their own _fire).
+from repro.sim import kernel as _kernel  # noqa: E402
+
+_kernel._EVENT_CLASS = Event
+_kernel._TIMEOUT_CLASS = Timeout

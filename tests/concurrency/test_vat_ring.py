@@ -1,0 +1,90 @@
+"""Ring-buffer mechanics of the vat's callback lane (PR 7).
+
+The FIFO/turn semantics are covered by test_vat.py; these tests target
+the ring itself: growth past the initial capacity (including growth
+triggered from inside a drain), slot clearing, and the abort-resume
+path when a callback raises mid-drain.
+"""
+
+import pytest
+
+from repro.concurrency.vat import _INITIAL_CAPACITY, vat_of
+from repro.sim import Environment
+
+
+def test_burst_past_initial_capacity_preserves_fifo():
+    env = Environment()
+    vat = vat_of(env)
+    n = _INITIAL_CAPACITY * 8 + 3
+    ran = []
+    for index in range(n):
+        vat.do_soon(ran.append, index)
+    assert vat.pending() == n
+    env.run()
+    assert ran == list(range(n))
+    assert vat.pending() == 0
+
+
+def test_grow_from_inside_a_drain_preserves_fifo():
+    env = Environment()
+    vat = vat_of(env)
+    ran = []
+
+    def fanout(tag):
+        ran.append(tag)
+        if tag == 0:
+            # Flood well past capacity while the drain loop is running:
+            # _ring/_mask swap under its feet and it must not care.
+            for index in range(_INITIAL_CAPACITY * 4):
+                vat.do_soon(ran.append, ("child", index))
+
+    vat.do_soon(fanout, 0)
+    vat.do_soon(ran.append, 1)
+    env.run()
+    assert ran[:2] == [0, 1]
+    assert ran[2:] == [("child", index) for index in range(_INITIAL_CAPACITY * 4)]
+    # The whole cascade settled in a single turn (documented guarantee).
+    assert vat.turns == 1
+
+
+def test_consumed_slots_are_cleared():
+    env = Environment()
+    vat = vat_of(env)
+    for index in range(5):
+        vat.do_soon(lambda _: None, index)
+    env.run()
+    assert all(slot is None for slot in vat._ring)
+
+
+def test_exception_consumes_entry_and_resumes_remainder():
+    env = Environment()
+    vat = vat_of(env)
+    ran = []
+
+    def boom(_):
+        raise RuntimeError("boom")
+
+    vat.do_soon(ran.append, "a")
+    vat.do_soon(boom, None)
+    vat.do_soon(ran.append, "b")
+    vat.do_soon(ran.append, "c")
+    with pytest.raises(RuntimeError):
+        env.run()
+    # popleft-then-call: the failing entry is consumed, the rest run in a
+    # fresh turn at the same timestamp.
+    assert vat.pending() == 2
+    env.run()
+    assert ran == ["a", "b", "c"]
+    assert vat.pending() == 0
+    assert vat.turns == 2
+
+
+def test_span_context_is_set_per_callback_and_reset():
+    env = Environment()
+    vat = vat_of(env)
+    seen = []
+    vat.do_soon(lambda _: seen.append(vat.current_span), None, span=(1, 2, 3))
+    vat.do_soon(lambda _: seen.append(vat.current_span), None)
+    env.run()
+    assert seen == [(1, 2, 3), None]
+    assert vat.current_span is None

@@ -1,0 +1,208 @@
+"""Unit tests for the bucket-calendar kernel internals added in PR 7.
+
+These cover the mechanics the black-box kernel tests cannot see: the
+pooled cancellable-timer records (O(1) lazy cancel, generation-checked
+reuse), the bucket free list, and the regression guard that mass alarm
+create+cancel traffic keeps the pending-timer structures bounded
+(the old heap kernel retained one dead entry per cancelled alarm until
+its deadline came up; the complaint in ISSUE satellite (b)).
+"""
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.alarm import Alarm
+from repro.sim.kernel import NORMAL, URGENT
+
+
+# ----------------------------------------------------------------------
+# Cancellable callback lane
+# ----------------------------------------------------------------------
+def test_cancellable_timer_fires_with_args():
+    env = Environment()
+    fired = []
+    env.call_at_cancellable(2.0, lambda a, b: fired.append((a, b)), 1, 2)
+    env.run()
+    assert fired == [(1, 2)]
+    assert env.now == 2.0
+
+
+def test_cancel_callback_prevents_fire():
+    env = Environment()
+    fired = []
+    handle = env.call_at_cancellable(2.0, fired.append, "x")
+    assert env.cancel_callback(handle, handle.gen) is True
+    env.run()
+    assert fired == []
+    # The dead slot was still consumed; time advanced to its bucket.
+    assert env.now == 2.0
+
+
+def test_cancel_callback_is_generation_checked():
+    env = Environment()
+    fired = []
+    handle = env.call_at_cancellable(1.0, fired.append, "first")
+    gen = handle.gen
+    env.run()
+    assert fired == ["first"]
+    # The record fired, went back to the pool, and was reissued: a stale
+    # cancel with the old generation must not kill the new owner's timer.
+    reissued = env.call_at_cancellable(2.0, fired.append, "second")
+    assert reissued is handle  # pooled reuse is what makes this test real
+    assert env.cancel_callback(handle, gen) is False
+    env.run()
+    assert fired == ["first", "second"]
+
+
+def test_cancel_callback_twice_reports_dead():
+    env = Environment()
+    handle = env.call_at_cancellable(1.0, lambda: None)
+    assert env.cancel_callback(handle, handle.gen) is True
+    assert env.cancel_callback(handle, handle.gen) is False
+    env.run()
+
+
+def test_cancellable_in_past_raises():
+    env = Environment()
+    env.call_at(1.0, lambda: None)
+    env.run()
+    with pytest.raises(ValueError):
+        env.call_at_cancellable(0.5, lambda: None)
+
+
+def test_schedule_rejects_unknown_priority():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.schedule(env.event(), 1.0, priority=7)
+    assert env.queued_event_count() == 0
+
+
+def test_urgent_precedes_normal_at_same_time():
+    env = Environment()
+    order = []
+    first = env.event()
+    first.callbacks.append(lambda e: order.append("normal"))
+    second = env.event()
+    second.callbacks.append(lambda e: order.append("urgent"))
+    env.schedule(first, 1.0, priority=NORMAL)
+    env.schedule(second, 1.0, priority=URGENT)
+    first._ok = second._ok = True
+    first._value = second._value = None
+    env.run()
+    assert order == ["urgent", "normal"]
+
+
+# ----------------------------------------------------------------------
+# Bucket pooling
+# ----------------------------------------------------------------------
+def test_bucket_pool_recycles_drained_buckets():
+    env = Environment()
+    for index in range(10):
+        env.call_at(float(index), lambda: None)
+    env.run()
+    assert env._buckets == {}
+    assert env._times == []
+    assert len(env._bucket_pool) >= 1
+    # Reusing a pooled bucket must behave exactly like a fresh one.
+    fired = []
+    env.call_at(20.0, fired.append, "a")
+    env.call_at(20.0, fired.append, "b")
+    env.run()
+    assert fired == ["a", "b"]
+
+
+def test_pooled_buckets_do_not_leak_entries_across_reuse():
+    env = Environment()
+    fired = []
+    # Mix all insert paths (schedule NORMAL/URGENT, call_at, call_soon)
+    # across several pool generations and check nothing fires twice.
+    for round_number in range(5):
+        base = env.now + 1.0
+        for k in range(3):
+            env.call_at(base + k, fired.append, (round_number, k))
+        event = env.event()
+        event._ok = True
+        event._value = None
+        env.schedule(event, 0.5, priority=URGENT)
+        env.run()
+    assert fired == [(r, k) for r in range(5) for k in range(3)]
+
+
+def test_bucket_pool_is_bounded():
+    from repro.sim.kernel import _BUCKET_POOL_LIMIT
+
+    env = Environment()
+    n = _BUCKET_POOL_LIMIT + 500
+    for index in range(n):
+        env.call_at(float(index), lambda: None)
+    env.run()
+    assert len(env._bucket_pool) <= _BUCKET_POOL_LIMIT
+
+
+def test_peek_discards_consumed_bucket_after_exception():
+    env = Environment()
+
+    def boom():
+        raise RuntimeError("boom")
+
+    env.call_at(1.0, boom)
+    with pytest.raises(RuntimeError):
+        env.run()
+    # The bucket at t=1.0 was fully consumed when the exception escaped;
+    # peek() must lazily discard it rather than report a phantom event.
+    from repro.sim.kernel import Infinity
+
+    assert env.peek() is Infinity
+    assert env.queued_event_count() == 0
+
+
+def test_run_resumes_in_order_after_exception_mid_bucket():
+    env = Environment()
+    order = []
+
+    def boom():
+        order.append("boom")
+        raise RuntimeError("boom")
+
+    env.call_at(1.0, order.append, "a")
+    env.call_at(1.0, boom)
+    env.call_at(1.0, order.append, "b")
+    env.call_at(2.0, order.append, "c")
+    with pytest.raises(RuntimeError):
+        env.run()
+    env.run()
+    assert order == ["a", "boom", "b", "c"]
+
+
+# ----------------------------------------------------------------------
+# Alarm growth regression (ISSUE satellite b)
+# ----------------------------------------------------------------------
+def test_hot_alarm_rearm_keeps_single_calendar_entry():
+    env = Environment()
+    alarm = Alarm(env, lambda: None)
+    for _ in range(100_000):
+        alarm.arm(0.5)
+        alarm.cancel()
+    # Lazy cancel + in-place revive: the whole storm occupies one slot.
+    assert env.queued_event_count() == 1
+    env.run()
+    assert env.queued_event_count() == 0
+
+
+def test_mass_create_cancel_alarms_stay_bounded():
+    env = Environment()
+    alive = []
+    for index in range(100_000):
+        alarm = Alarm(env, lambda: None)
+        alarm.arm(0.5 + (index % 7) * 0.25)
+        alarm.cancel()
+        alive.append(alarm)
+        if index % 1000 == 999:
+            env.run(env.now + 1.0)
+    env.run()
+    # Every timer record was consumed (skipped dead) and recycled; the
+    # calendar, callback pool and bucket pool must all stay far below
+    # one-entry-per-alarm growth.
+    assert env.queued_event_count() == 0
+    assert len(env._cb_pool) < 5_000
+    assert len(env._bucket_pool) < 5_000
