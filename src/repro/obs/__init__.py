@@ -10,8 +10,10 @@ enabled per run with ``ArgusSystem(tracing=True)`` or
 ``python -m repro.obs`` (see :mod:`repro.obs.__main__`).
 """
 
+from repro.obs.hist import StreamingHistogram
 from repro.obs.metrics import Counter, Histogram, Metrics
 from repro.obs.monitor import MonitorSuite, MonitorViolation
+from repro.obs.slo import SloSpec, evaluate_slo
 from repro.obs.spans import (
     CallSpan,
     SpanNode,
@@ -22,12 +24,17 @@ from repro.obs.spans import (
     to_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.timeseries import WindowedCollector
 from repro.obs.trace import TraceEvent, Tracer, load_jsonl, mint_span
 
 __all__ = [
     "Counter",
     "Histogram",
     "Metrics",
+    "SloSpec",
+    "StreamingHistogram",
+    "WindowedCollector",
+    "evaluate_slo",
     "MonitorSuite",
     "MonitorViolation",
     "CallSpan",

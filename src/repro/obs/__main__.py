@@ -20,6 +20,20 @@ example's ``--trace DIR`` flag).  Subcommands:
 ``chrome``
     Convert the trace to Chrome trace-event JSON; open the output in
     ``chrome://tracing`` or https://ui.perfetto.dev.
+
+Two further subcommands operate on a **load report** (the
+``BENCH_PR8.json`` written by ``benchmarks/load/run_load.py``) instead of
+a raw trace:
+
+``report``
+    Per-workload load summary: achieved throughput, latency quantiles
+    through p999, the stepped-rate ladder, and the SLO verdict table.
+
+``top``
+    Replay the run's per-window timeline as live ``top``-style frames
+    (throughput bars, in-flight occupancy, tail latency per window).
+    ``--interval`` inserts a real-time delay between frames;
+    the default of 0 prints all frames at once (CI-friendly).
 """
 
 from __future__ import annotations
@@ -27,8 +41,10 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import List, Optional
 
+from repro.obs.slo import load_report, render_report, top_frames
 from repro.obs.spans import (
     PHASES,
     aggregate_critical_path,
@@ -38,13 +54,29 @@ from repro.obs.spans import (
     format_tree,
     write_chrome_trace,
 )
-from repro.obs.trace import load_jsonl, replay_metrics, summary_from_metrics
+from repro.obs.trace import (
+    EV_TRACE_META,
+    load_jsonl,
+    replay_metrics,
+    summary_from_metrics,
+    trace_meta,
+)
 
 
 def _cmd_summarize(args: argparse.Namespace) -> int:
     events = load_jsonl(args.trace)
+    meta = trace_meta(events)
+    events = [event for event in events if event.type != EV_TRACE_META]
     metrics = replay_metrics(events)
-    report = summary_from_metrics(metrics, len(events))
+    report = summary_from_metrics(
+        metrics, len(events), dropped_events=meta["dropped_events"]
+    )
+    if meta["dropped_events"]:
+        sys.stderr.write(
+            "warning: trace is TRUNCATED — the ring buffer dropped %d events "
+            "before export; counts and histograms cover only the %d retained "
+            "events\n" % (meta["dropped_events"], len(events))
+        )
     json.dump(report, sys.stdout, indent=2, sort_keys=True, default=repr)
     sys.stdout.write("\n")
     return 0
@@ -88,12 +120,23 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
         return 1
     total = report["end_to_end_total"]
     print("end-to-end total: %.3f  mean: %.3f" % (total, report["end_to_end_mean"]))
-    print("phase breakdown (summed over complete calls):")
+    tails = report["end_to_end_percentiles"]
+    print(
+        "end-to-end percentiles: p50=%.3f  p99=%.3f  p999=%.3f"
+        % (tails["p50"], tails["p99"], tails["p999"])
+    )
+    print("phase breakdown (summed over complete calls; p999 per phase):")
+    phase_tails = report["phase_percentiles"]
     for phase in PHASES:
         duration = report["phase_totals"][phase]
         print(
-            "    %-14s %10.3f  (%5.1f%%)"
-            % (phase, duration, 100.0 * duration / total if total else 0.0)
+            "    %-14s %10.3f  (%5.1f%%)  p999=%.3f"
+            % (
+                phase,
+                duration,
+                100.0 * duration / total if total else 0.0,
+                phase_tails[phase]["p999"],
+            )
         )
     slowest = report["slowest_call"]
     if slowest is not None:
@@ -113,6 +156,36 @@ def _cmd_chrome(args: argparse.Namespace) -> int:
     events = load_jsonl(args.trace)
     slices = write_chrome_trace(events, args.output)
     print("wrote %d slices to %s" % (slices, args.output))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = load_report(args.report)
+    print(render_report(report))
+    slo = report.get("slo")
+    return 0 if slo is None or slo.get("ok") else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    report = load_report(args.report)
+    workloads = sorted(report.get("workloads", {}))
+    if not workloads:
+        print("report has no workloads")
+        return 1
+    workload = args.workload or workloads[0]
+    frames = list(top_frames(report, workload))
+    if not frames:
+        print("workload %r recorded no windows" % (workload,))
+        return 1
+    for index, frame in enumerate(frames):
+        if args.interval > 0:
+            # Live replay: repaint in place like top(1).
+            sys.stdout.write("\x1b[2J\x1b[H")
+        print(frame)
+        if args.interval > 0 and index + 1 < len(frames):
+            time.sleep(args.interval)
+        elif args.interval == 0 and index + 1 < len(frames):
+            print()
     return 0
 
 
@@ -146,6 +219,28 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="trace.chrome.json", help="output path"
     )
     p_chrome.set_defaults(func=_cmd_chrome)
+
+    p_report = sub.add_parser(
+        "report", help="summarize a load report (BENCH_PR8.json) with SLO verdicts"
+    )
+    p_report.add_argument("report", help="path to a load report .json file")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_top = sub.add_parser(
+        "top", help="replay a load report's per-window timeline as top-style frames"
+    )
+    p_top.add_argument("report", help="path to a load report .json file")
+    p_top.add_argument(
+        "-w", "--workload", default=None, help="workload to replay (default: first)"
+    )
+    p_top.add_argument(
+        "-i",
+        "--interval",
+        type=float,
+        default=0.0,
+        help="seconds between frames (0 = print all frames at once)",
+    )
+    p_top.set_defaults(func=_cmd_top)
     return parser
 
 

@@ -1,12 +1,24 @@
 """Metrics: counters and latency histograms aggregated during a run.
 
-The registry is deliberately simulation-friendly: a run produces at most a
-few hundred thousand observations, so histograms keep their raw samples and
-can report exact means and percentiles instead of bucketed approximations.
-Every counter and histogram is keyed by a metric *name* plus a small set of
-labels (``node=...``, ``stream=...``, ``reason=...``), mirroring how
+The registry has two histogram modes, chosen per :class:`Metrics`
+instance:
+
+* **exact** (the default) — a run produces at most a few hundred thousand
+  observations, so histograms keep their raw samples and report exact
+  means and percentiles.  Every simulation test uses this mode.
+* **streaming** (``Metrics(streaming=True)``) — observations land in
+  constant-memory log-bucketed :class:`~repro.obs.hist.StreamingHistogram`
+  instances (~1% relative error on quantiles).  The open-loop load
+  harness (``benchmarks/load``) runs in this mode: 10^5–10^6 agents'
+  latency samples must never be retained raw.
+
+Every counter and histogram is keyed by a metric *name* plus a small set
+of labels (``node=...``, ``stream=...``, ``reason=...``), mirroring how
 production systems (and the Reitz many-task runtime instrumentation in
-PAPERS.md) break per-operation statistics down by entity.
+PAPERS.md) break per-operation statistics down by entity.  A registry can
+additionally forward writes into a
+:class:`~repro.obs.timeseries.WindowedCollector` (``Metrics(collector=...)``)
+so the same instrumentation sites also produce per-window timelines.
 
 All values are plain Python numbers and the :meth:`Metrics.summary` report
 is JSON-serializable, so tests and benchmarks can assert on it directly.
@@ -14,7 +26,9 @@ is JSON-serializable, so tests and benchmarks can assert on it directly.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.hist import DEFAULT_RELATIVE_ERROR, StreamingHistogram
 
 __all__ = ["Counter", "Histogram", "Metrics", "format_key"]
 
@@ -88,6 +102,26 @@ class Histogram:
         """The raw observations, in observation order."""
         return list(self._values)
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold *other*'s observations into this histogram (in place).
+
+        Merging an empty histogram — on either side — is a no-op for the
+        non-empty one, and the result's statistics are exactly those of
+        the pooled samples.  Returns ``self`` for chaining.
+        """
+        values = other.values()
+        if values:
+            if self._sorted and (not self._values or values[0] >= self._values[-1]):
+                # Fast path: appending a sorted run that starts past our
+                # current tail keeps the merged list sorted.
+                self._sorted = all(
+                    values[i] <= values[i + 1] for i in range(len(values) - 1)
+                )
+            else:
+                self._sorted = False
+            self._values.extend(values)
+        return self
+
     def percentile(self, p: float) -> float:
         """The *p*-th percentile (0 <= p <= 100), nearest-rank method."""
         if not 0.0 <= p <= 100.0:
@@ -110,6 +144,7 @@ class Histogram:
             "max": self.max,
             "p50": self.percentile(50),
             "p99": self.percentile(99),
+            "p999": self.percentile(99.9),
         }
 
     def __repr__(self) -> str:
@@ -122,11 +157,33 @@ class Metrics:
     ``inc``/``observe`` create series lazily; readers use
     :meth:`counter_value` / :meth:`histogram` (exact label match) or
     :meth:`total` (sum over every label set of a name).
+
+    ``streaming=True`` switches every histogram series to the
+    constant-memory :class:`~repro.obs.hist.StreamingHistogram`
+    (``relative_error`` bounds its quantile error); the default keeps the
+    exact raw-sample :class:`Histogram` so existing tests see exact
+    percentiles.  An attached ``collector``
+    (:class:`~repro.obs.timeseries.WindowedCollector`) additionally
+    receives every write, keyed by bare metric name, to build per-window
+    timelines alongside the run totals.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        streaming: bool = False,
+        relative_error: float = DEFAULT_RELATIVE_ERROR,
+        collector: Optional[Any] = None,
+    ) -> None:
+        self.streaming = streaming
+        self.relative_error = relative_error
+        self.collector = collector
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
-        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Any] = {}
+
+    def _new_histogram(self) -> Any:
+        if self.streaming:
+            return StreamingHistogram(self.relative_error)
+        return Histogram()
 
     # ------------------------------------------------------------------
     # Writing
@@ -138,14 +195,18 @@ class Metrics:
         if counter is None:
             counter = self._counters[key] = Counter()
         counter.inc(amount)
+        if self.collector is not None:
+            self.collector.inc(name, amount)
 
     def observe(self, name: str, value: float, **labels: Any) -> None:
         """Record *value* into histogram *name* (with *labels*)."""
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
-            histogram = self._histograms[key] = Histogram()
+            histogram = self._histograms[key] = self._new_histogram()
         histogram.observe(value)
+        if self.collector is not None:
+            self.collector.observe(name, value)
 
     # ------------------------------------------------------------------
     # Reading
@@ -163,18 +224,18 @@ class Metrics:
             if counter_name == name
         )
 
-    def histogram(self, name: str, **labels: Any) -> Histogram:
-        """The exact histogram series (an empty one if never observed)."""
+    def histogram(self, name: str, **labels: Any) -> Any:
+        """The histogram series (an empty one, of the registry's mode, if
+        never observed)."""
         histogram = self._histograms.get((name, _label_key(labels)))
-        return histogram if histogram is not None else Histogram()
+        return histogram if histogram is not None else self._new_histogram()
 
-    def merged_histogram(self, name: str) -> Histogram:
+    def merged_histogram(self, name: str) -> Any:
         """All observations of *name* pooled across label sets."""
-        merged = Histogram()
+        merged = self._new_histogram()
         for (histogram_name, _), histogram in self._histograms.items():
             if histogram_name == name:
-                for value in histogram.values():
-                    merged.observe(value)
+                merged.merge(histogram)
         return merged
 
     def counter_names(self) -> List[str]:

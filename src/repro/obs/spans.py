@@ -405,23 +405,45 @@ def critical_path(span: CallSpan) -> Dict[str, Any]:
     }
 
 
+#: Tail definitions shared with the SLO engine (:mod:`repro.obs.slo`):
+#: span reports and SLO reports quote the same percentiles, through p999.
+TAIL_PERCENTILES = (50.0, 99.0, 99.9)
+
+
+def _percentile_summary(histogram: Any) -> Dict[str, float]:
+    return {
+        "p50": histogram.percentile(50),
+        "p99": histogram.percentile(99),
+        "p999": histogram.percentile(99.9),
+    }
+
+
 def aggregate_critical_path(spans: List[CallSpan]) -> Dict[str, Any]:
     """Where the run's latency went, summed over all complete spans.
 
     ``phase_totals`` sums each phase across complete calls;
     ``phase_fractions`` normalizes by the summed end-to-end latency (the
     fractions sum to 1.0 because the phases partition each call's
-    latency).  The slowest call is included for drill-down.
+    latency).  ``end_to_end_percentiles`` and ``phase_percentiles`` carry
+    the p50/p99/**p999** distribution summaries (exact, nearest-rank) so
+    span reports and SLO reports (:mod:`repro.obs.slo`) agree on tail
+    definitions.  The slowest call is included for drill-down.
     """
+    from repro.obs.metrics import Histogram
+
     complete = [span for span in spans if span.complete]
     totals = {phase: 0.0 for phase in PHASES}
+    phase_hists = {phase: Histogram() for phase in PHASES}
+    e2e_hist = Histogram()
     e2e_total = 0.0
     slowest: Optional[CallSpan] = None
     for span in complete:
         for phase, duration in span.phases().items():
             totals[phase] += duration
+            phase_hists[phase].observe(duration)
         e2e = span.end_to_end
         e2e_total += e2e
+        e2e_hist.observe(e2e)
         if slowest is None or e2e > slowest.end_to_end:
             slowest = span
     return {
@@ -429,7 +451,15 @@ def aggregate_critical_path(spans: List[CallSpan]) -> Dict[str, Any]:
         "complete_calls": len(complete),
         "end_to_end_total": e2e_total,
         "end_to_end_mean": (e2e_total / len(complete)) if complete else None,
+        "end_to_end_percentiles": (
+            _percentile_summary(e2e_hist) if complete else None
+        ),
         "phase_totals": totals,
+        "phase_percentiles": (
+            {phase: _percentile_summary(phase_hists[phase]) for phase in PHASES}
+            if complete
+            else None
+        ),
         "phase_fractions": (
             {phase: totals[phase] / e2e_total for phase in PHASES}
             if e2e_total

@@ -40,6 +40,8 @@ __all__ = [
     "load_jsonl",
     "mint_span",
     "summary_from_metrics",
+    "trace_meta",
+    "EV_TRACE_META",
     # Event type constants, grouped by layer.
     "EV_PROCESS_CREATED",
     "EV_PROCESS_RESUMED",
@@ -126,6 +128,13 @@ EV_PROMISE_CHAINED = "promise.chained"
 #: One vat drain completed (``callbacks`` run, ``pending`` left behind by
 #: an aborted drain — normally 0).
 EV_VAT_TURN = "vat.turn"
+
+# -- trace metadata ----------------------------------------------------
+#: Synthetic record written by :meth:`Tracer.export_jsonl` when the ring
+#: buffer overflowed: carries ``dropped_events`` so offline analysis can
+#: tell a truncated trace from a complete one.  Not a simulation event;
+#: every consumer of event streams skips it.
+EV_TRACE_META = "trace.meta"
 
 
 def mint_span(env: Any) -> Tuple[int, int, int]:
@@ -266,8 +275,24 @@ class Tracer:
 
         Returns the number of events written.  Field values that are not
         JSON-native are rendered with ``repr``.
+
+        When the ring buffer overflowed (``dropped_events > 0``) the file
+        starts with one :data:`EV_TRACE_META` record carrying the drop
+        count, so offline tools (``python -m repro.obs summarize``) can
+        warn that the trace is truncated instead of silently reading it
+        as complete.  Complete traces are written byte-identically to
+        before this record existed.
         """
         with open(path, "w") as handle:
+            if self.dropped_events:
+                meta = {
+                    "t": 0.0,
+                    "type": EV_TRACE_META,
+                    "dropped_events": self.dropped_events,
+                    "captured_events": len(self.events),
+                }
+                handle.write(json.dumps(meta))
+                handle.write("\n")
             for event in self.events:
                 handle.write(json.dumps(event.to_dict(), default=repr))
                 handle.write("\n")
@@ -280,7 +305,9 @@ class Tracer:
         in, e.g. wire messages per stream call (the buffering amortization
         of §2) and mean promise claim latency.
         """
-        return summary_from_metrics(self.metrics, len(self.events))
+        return summary_from_metrics(
+            self.metrics, len(self.events), dropped_events=self.dropped_events
+        )
 
     def summary_json(self, path: str) -> Dict[str, Any]:
         """Write :meth:`summary` to *path* as JSON; returns the report."""
@@ -294,10 +321,17 @@ class Tracer:
         return "<Tracer events=%d capture=%r>" % (len(self.events), self.capture)
 
 
-def summary_from_metrics(metrics: Metrics, event_count: int) -> Dict[str, Any]:
+def summary_from_metrics(
+    metrics: Metrics, event_count: int, dropped_events: int = 0
+) -> Dict[str, Any]:
     """The :meth:`Tracer.summary` report, computable from any metrics
     registry — including one rebuilt offline from an exported JSONL trace
-    (see :func:`replay_metrics` and the ``summarize`` CLI subcommand)."""
+    (see :func:`replay_metrics` and the ``summarize`` CLI subcommand).
+
+    ``dropped_events`` (from :attr:`Tracer.dropped_events` live, or the
+    trace's :data:`EV_TRACE_META` record offline) is surfaced in the
+    report so a ring-buffer-truncated trace is never read as complete.
+    """
     report = metrics.summary()
     calls = metrics.total("stream.calls")
     wire_messages = metrics.total("net.messages_sent")
@@ -313,7 +347,25 @@ def summary_from_metrics(metrics: Metrics, event_count: int) -> Dict[str, Any]:
     }
     report["derived"] = derived
     report["event_count"] = event_count
+    report["dropped_events"] = dropped_events
     return report
+
+
+def trace_meta(events: List[TraceEvent]) -> Dict[str, Any]:
+    """The trace's metadata, folded from its :data:`EV_TRACE_META` records.
+
+    Returns ``{"dropped_events": 0}`` for a complete trace.  Loaded traces
+    keep meta records inline in the event list (consumers that dispatch on
+    event type skip them naturally); this helper is how readers check for
+    truncation without scanning themselves.
+    """
+    meta: Dict[str, Any] = {"dropped_events": 0}
+    for event in events:
+        if event.type == EV_TRACE_META:
+            meta["dropped_events"] += event.fields.get("dropped_events", 0)
+            if "captured_events" in event.fields:
+                meta["captured_events"] = event.fields["captured_events"]
+    return meta
 
 
 def replay_metrics(events: List[TraceEvent]) -> Metrics:

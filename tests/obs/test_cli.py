@@ -83,3 +83,117 @@ def test_spans_on_empty_trace_reports_and_fails(tmp_path, capsys):
     empty.write_text("")
     assert main(["spans", str(empty)]) == 1
     assert "no spans" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Truncated traces (ring-buffered tracer)
+# ----------------------------------------------------------------------
+def test_summarize_warns_when_trace_was_truncated(tmp_path, capsys):
+    from repro.obs.trace import Tracer
+
+    from repro.entities.system import ArgusSystem
+    from repro.types.signatures import INT, HandlerType
+
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1)
+    tracer = Tracer.install(system.env, max_events=10)
+    server = system.create_guardian("server")
+
+    def echo(ctx, x):
+        yield ctx.compute(0.01)
+        return x
+
+    server.create_handler("echo", HandlerType(args=[INT], returns=[INT]), echo)
+    client = system.create_guardian("client")
+
+    def driver(ctx):
+        handle = ctx.lookup("server", "echo")
+        for i in range(10):
+            yield handle.call(i)
+        return None
+
+    system.run(until=client.spawn(driver))
+    assert tracer.dropped_events > 0
+    path = tmp_path / "truncated.jsonl"
+    system.export_trace(str(path))
+
+    assert main(["summarize", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "TRUNCATED" in captured.err
+    report = json.loads(captured.out)
+    assert report["dropped_events"] == tracer.dropped_events
+    # The meta record itself is not an analyzed event.
+    assert report["event_count"] == 10
+
+
+def test_summarize_complete_trace_has_no_warning(trace_path, capsys):
+    assert main(["summarize", trace_path]) == 0
+    captured = capsys.readouterr()
+    assert "TRUNCATED" not in captured.err
+    assert json.loads(captured.out)["dropped_events"] == 0
+
+
+def test_critical_path_prints_p999(trace_path, capsys):
+    assert main(["critical-path", trace_path]) == 0
+    out = capsys.readouterr().out
+    assert "end-to-end percentiles:" in out
+    assert "p999=" in out
+
+
+# ----------------------------------------------------------------------
+# Load-report subcommands (report / top)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def report_path(tmp_path_factory):
+    from benchmarks.load.harness import LoadConfig, stepped_search
+    from repro.obs.slo import SloSpec, evaluate_slo
+
+    config = LoadConfig(
+        workload="echo", n_agents=1_000, n_clients=2, duration=2.0, seed=5
+    )
+    entry, _ = stepped_search(config, [100.0])
+    # Ceilings/floor sized to the tiny fixture run, not the benchmark topology.
+    spec = SloSpec(
+        {"echo": {"latency": {"p50": 0.1, "p99": 0.5}, "throughput_floor": 50.0}}
+    )
+    verdicts = evaluate_slo(spec, {"echo": entry})
+    entry["slo"] = verdicts["workloads"]["echo"]
+    report = {
+        "pr": 8,
+        "mode": "quick",
+        "agents": 1_000,
+        "workloads": {"echo": entry},
+        "slo": verdicts,
+        "slo_spec": spec.to_dict(),
+    }
+    path = tmp_path_factory.mktemp("load") / "report.json"
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+def test_report_subcommand_renders_and_passes(report_path, capsys):
+    assert main(["report", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "workload echo" in out
+    assert "rate ladder" in out
+    assert "overall SLO verdict: ok" in out
+
+
+def test_report_subcommand_fails_on_breach(report_path, tmp_path, capsys):
+    report = json.loads(open(report_path).read())
+    report["slo"]["ok"] = False
+    breached = tmp_path / "breached.json"
+    breached.write_text(json.dumps(report))
+    assert main(["report", str(breached)]) == 1
+
+
+def test_top_subcommand_replays_windows(report_path, capsys):
+    assert main(["top", report_path]) == 0
+    out = capsys.readouterr().out
+    assert "obs top — echo" in out
+    assert out.count("window ") >= 2
+    assert "in-flight" in out
+
+
+def test_top_subcommand_unknown_workload_fails(report_path, capsys):
+    with pytest.raises(KeyError):
+        main(["top", report_path, "-w", "nope"])

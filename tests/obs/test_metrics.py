@@ -70,3 +70,53 @@ def test_summary_is_json_serializable_and_keyed():
     parsed = json.loads(text)
     assert parsed["counters"]["calls{kind=send,stream=s1}"] == 1
     assert parsed["histograms"]["wait"]["mean"] == 5.0
+
+
+def test_histogram_snapshot_includes_p999():
+    histogram = Histogram()
+    for value in range(1, 1001):
+        histogram.observe(float(value))
+    snapshot = histogram.snapshot()
+    assert snapshot["p999"] == histogram.percentile(99.9)
+    assert snapshot["p99"] <= snapshot["p999"] <= snapshot["max"]
+
+
+def test_exact_histogram_merge():
+    left, right = Histogram(), Histogram()
+    for value in (1.0, 5.0):
+        left.observe(value)
+    for value in (2.0, 4.0, 3.0):
+        right.observe(value)
+    assert left.merge(right) is left
+    assert left.count == 5
+    assert left.percentile(50) == 3.0
+    # Merging an empty histogram is the identity.
+    before = left.count
+    left.merge(Histogram())
+    assert left.count == before
+
+
+def test_streaming_mode_swaps_histogram_type():
+    from repro.obs import StreamingHistogram
+
+    metrics = Metrics(streaming=True)
+    metrics.observe("latency", 0.25)
+    assert isinstance(metrics.histogram("latency"), StreamingHistogram)
+    assert isinstance(metrics.merged_histogram("latency"), StreamingHistogram)
+    exact = Metrics()
+    exact.observe("latency", 0.25)
+    assert isinstance(exact.histogram("latency"), Histogram)
+
+
+def test_attached_collector_sees_every_write():
+    from repro.obs import WindowedCollector
+
+    collector = WindowedCollector(window=1.0, clock=lambda: 0.5)
+    metrics = Metrics(streaming=True, collector=collector)
+    metrics.inc("reqs", node="a")
+    metrics.inc("reqs", node="b")
+    metrics.observe("latency", 0.25, node="a")
+    row = collector.rows()[0]
+    # Collector series are keyed by bare name: labels pool together.
+    assert row["reqs"] == 2
+    assert row["latency_count"] == 1

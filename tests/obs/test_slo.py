@@ -1,0 +1,196 @@
+"""SLO spec validation/evaluation and load-report rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import SloSpec, evaluate_slo
+from repro.obs.slo import (
+    load_report,
+    render_report,
+    render_top_frame,
+    top_frames,
+)
+
+
+def make_summary(p50=0.01, p99=0.02, p999=0.03, throughput=500.0):
+    return {
+        "latency": {"p50": p50, "p99": p99, "p999": p999, "max": p999},
+        "max_sustainable_throughput": throughput,
+    }
+
+
+SPEC = {
+    "echo": {
+        "latency": {"p50": 0.05, "p99": 0.25, "p999": 0.5},
+        "throughput_floor": 100.0,
+    }
+}
+
+
+def test_spec_rejects_unknown_keys():
+    with pytest.raises(ValueError):
+        SloSpec({"echo": {"latency": {}, "banana": 1}})
+    with pytest.raises(ValueError):
+        SloSpec({"echo": {"latency": {"p12": 0.5}}})
+
+
+def test_default_spec_is_valid_and_lists_workloads():
+    spec = SloSpec()
+    assert set(spec.workloads()) >= {"echo", "pipeline", "kv"}
+
+
+def test_passing_workload():
+    verdict = SloSpec(SPEC).evaluate("echo", make_summary())
+    assert verdict["ok"]
+    assert {check["check"] for check in verdict["checks"]} == {
+        "latency_p50",
+        "latency_p99",
+        "latency_p999",
+        "max_sustainable_throughput",
+    }
+
+
+def test_latency_ceiling_breach():
+    verdict = SloSpec(SPEC).evaluate("echo", make_summary(p999=0.7))
+    assert not verdict["ok"]
+    failed = [check for check in verdict["checks"] if not check["ok"]]
+    assert [check["check"] for check in failed] == ["latency_p999"]
+    assert failed[0]["kind"] == "ceiling"
+
+
+def test_throughput_floor_breach_and_missing_value():
+    spec = SloSpec(SPEC)
+    assert not spec.evaluate("echo", make_summary(throughput=50.0))["ok"]
+    assert not spec.evaluate("echo", make_summary(throughput=None))["ok"]
+
+
+def test_unspecced_workload_passes_vacuously():
+    verdict = SloSpec(SPEC).evaluate("mystery", make_summary())
+    assert verdict["ok"] and verdict["checks"] == []
+
+
+def test_evaluate_slo_overall_verdict_is_the_and():
+    spec = SloSpec(SPEC)
+    result = evaluate_slo(
+        spec, {"echo": make_summary(), "other": make_summary()}
+    )
+    assert result["ok"]
+    result = evaluate_slo(spec, {"echo": make_summary(p50=1.0)})
+    assert not result["ok"]
+
+
+def test_spec_round_trip_through_file(tmp_path):
+    path = tmp_path / "slo.json"
+    path.write_text(json.dumps(SPEC))
+    spec = SloSpec.from_file(str(path))
+    assert spec.to_dict() == SPEC
+
+
+# ----------------------------------------------------------------------
+# Report loading and rendering
+# ----------------------------------------------------------------------
+def make_report():
+    window = {
+        "t0": 0.0,
+        "t1": 0.5,
+        "load.completed_rate": 100.0,
+        "load.issued_rate": 110.0,
+        "load.inflight_last": 4,
+        "load.inflight_max": 6,
+        "load.latency_p50": 0.01,
+        "load.latency_p99": 0.02,
+        "load.latency_p999": 0.03,
+        "load.latency_max": 0.04,
+        "load.errors": 0,
+        "load.reconnects": 1,
+        "load.churn": 2,
+    }
+    summary = make_summary()
+    entry = dict(summary)
+    entry.update(
+        {
+            "requests": 400,
+            "errors": 0,
+            "reconnects": 1,
+            "windows": [window, dict(window, t0=0.5, t1=1.0)],
+            "steps": [
+                {
+                    "offered_rate": 100.0,
+                    "achieved_rate": 101.0,
+                    "p99": 0.02,
+                    "sustained": True,
+                },
+                {
+                    "offered_rate": 200.0,
+                    "achieved_rate": 130.0,
+                    "p99": 0.9,
+                    "sustained": False,
+                },
+            ],
+        }
+    )
+    spec = SloSpec(SPEC)
+    verdicts = evaluate_slo(spec, {"echo": entry})
+    entry["slo"] = verdicts["workloads"]["echo"]
+    return {
+        "pr": 8,
+        "mode": "quick",
+        "agents": 1000,
+        "workloads": {"echo": entry},
+        "slo": verdicts,
+    }
+
+
+def test_load_report_requires_workloads_key(tmp_path):
+    path = tmp_path / "not_a_report.json"
+    path.write_text("{}")
+    with pytest.raises(ValueError):
+        load_report(str(path))
+    good = tmp_path / "report.json"
+    good.write_text(json.dumps(make_report()))
+    assert load_report(str(good))["pr"] == 8
+
+
+def test_render_report_mentions_the_essentials():
+    text = render_report(make_report())
+    assert "workload echo" in text
+    assert "p999" in text
+    assert "COLLAPSED" in text
+    assert "sustained" in text
+    assert "overall SLO verdict: ok" in text
+
+
+def test_render_report_marks_breaches():
+    report = make_report()
+    entry = report["workloads"]["echo"]
+    entry["latency"]["p999"] = 9.0
+    spec = SloSpec(SPEC)
+    verdicts = evaluate_slo(spec, {"echo": entry})
+    entry["slo"] = verdicts["workloads"]["echo"]
+    report["slo"] = verdicts
+    text = render_report(report)
+    assert "BREACHED" in text
+    assert "FAIL" in text
+
+
+def test_top_frames_render_each_window():
+    report = make_report()
+    frames = list(top_frames(report, "echo"))
+    assert len(frames) == 2
+    assert "window 1/2" in frames[0]
+    assert "window 2/2" in frames[1]
+    assert "in-flight" in frames[0]
+    assert "p999" in frames[0]
+
+
+def test_top_frames_unknown_workload():
+    with pytest.raises(KeyError):
+        list(top_frames(make_report(), "nope"))
+
+
+def test_top_frame_handles_missing_columns():
+    # A sparse row (window with no completions) must render, not crash.
+    rows = [{"t0": 0.0, "t1": 0.5}]
+    frame = render_top_frame("echo", rows, 0)
+    assert "window 1/1" in frame

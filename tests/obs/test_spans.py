@@ -233,3 +233,29 @@ def test_incomplete_spans_are_partial_not_wrong():
     report = aggregate_critical_path(spans)
     assert report["complete_calls"] == 0
     assert report["slowest_call"] is None
+
+
+def test_aggregate_critical_path_tail_percentiles():
+    spans = build_spans(fig31_events())
+    report = aggregate_critical_path(spans)
+    tails = report["end_to_end_percentiles"]
+    assert set(tails) == {"p50", "p99", "p999"}
+    from repro.obs import Histogram
+
+    exact = Histogram()
+    for span in spans:
+        exact.observe(span.end_to_end)
+    assert tails["p50"] == exact.percentile(50)
+    assert tails["p999"] == exact.percentile(99.9)
+    assert tails["p50"] <= tails["p99"] <= tails["p999"] <= exact.max
+    phase_tails = report["phase_percentiles"]
+    assert set(phase_tails) == set(PHASES)
+    for phase in PHASES:
+        assert set(phase_tails[phase]) == {"p50", "p99", "p999"}
+        assert phase_tails[phase]["p50"] <= phase_tails[phase]["p999"]
+
+
+def test_aggregate_critical_path_no_complete_calls_has_null_tails():
+    report = aggregate_critical_path([])
+    assert report["end_to_end_percentiles"] is None
+    assert report["phase_percentiles"] is None
