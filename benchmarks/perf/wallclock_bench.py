@@ -1,0 +1,173 @@
+"""Real-socket throughput of the wallclock backend (reported, not gated).
+
+Measures the :mod:`repro.rt` backend end to end — client in this
+process, echo guardian in a spawned worker process, frames over real
+TCP on loopback:
+
+* ``echo_rpc`` — N sequential blocking ``call`` round trips: the
+  latency-bound workload (one frame each way per call);
+* ``pipeline_stream`` — N ``stream`` calls issued ahead, then claimed:
+  the throughput-bound workload (call streams amortize frames over
+  batches, the paper's central claim, now on actual sockets).
+
+Writes ``BENCH_PR9.json`` at the repository root.  Wall-clock rates on
+shared CI runners are weather, not climate — this benchmark is
+**informational**: nothing compares it against a baseline and nothing
+fails on a slow run.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/wallclock_bench.py          # full
+    PYTHONPATH=src python benchmarks/perf/wallclock_bench.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(HERE))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_PR9.json")
+
+if os.path.join(REPO_ROOT, "src") not in sys.path:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+if REPO_ROOT not in sys.path:
+    sys.path.insert(0, REPO_ROOT)
+
+from repro.rt import RtCluster  # noqa: E402
+from repro.types.signatures import INT, HandlerType  # noqa: E402
+
+ECHO_T = HandlerType(args=[INT], returns=[INT])
+
+
+def setup_echo(host) -> None:
+    """Echo guardian for the worker process (pickled by reference)."""
+    guardian = host.create_guardian("echo")
+
+    def echo_impl(ctx, n):
+        return n
+        yield  # pragma: no cover - marks impl as a generator
+
+    guardian.create_handler("echo", ECHO_T, echo_impl)
+
+
+def _client(cluster):
+    host = cluster.client_host()
+    host.declare("echo", "echo", ECHO_T, node="node:echo")
+    return host
+
+
+def bench_echo_rpc(cluster, n: int) -> dict:
+    host = _client(cluster)
+    try:
+        client = host.create_guardian("bench-rpc")
+
+        def proc(ctx):
+            echo = ctx.lookup("echo", "echo")
+            for i in range(n):
+                yield echo.call(i)
+            return n
+
+        start = time.perf_counter()
+        process = client.spawn(proc)
+        host.run(until=process, timeout=600.0)
+        elapsed = time.perf_counter() - start
+        stats = host.stats()
+    finally:
+        host.shutdown()
+    return {
+        "n": n,
+        "seconds": elapsed,
+        "rate_calls_per_s": n / elapsed,
+        "latency_mean_ms": 1000.0 * elapsed / n,
+        "network": stats,
+    }
+
+
+def bench_pipeline_stream(cluster, n: int) -> dict:
+    host = _client(cluster)
+    try:
+        client = host.create_guardian("bench-pipe")
+
+        def proc(ctx):
+            echo = ctx.lookup("echo", "echo")
+            promises = [echo.stream(i) for i in range(n)]
+            echo.flush()
+            total = 0
+            for promise in promises:
+                total += yield promise.claim()
+            return total
+
+        start = time.perf_counter()
+        process = client.spawn(proc)
+        total = host.run(until=process, timeout=600.0)
+        elapsed = time.perf_counter() - start
+        assert total == n * (n - 1) // 2, "echo values corrupted"
+        stats = host.stats()
+    finally:
+        host.shutdown()
+    return {
+        "n": n,
+        "seconds": elapsed,
+        "rate_calls_per_s": n / elapsed,
+        "network": stats,
+    }
+
+
+def run(quick: bool) -> dict:
+    sizes = {"echo_rpc": 300, "pipeline_stream": 1000} if quick else {
+        "echo_rpc": 2000,
+        "pipeline_stream": 10000,
+    }
+    workloads = {}
+    cluster = RtCluster({"node:echo": setup_echo})
+    cluster.start()
+    try:
+        workloads["echo_rpc"] = bench_echo_rpc(cluster, sizes["echo_rpc"])
+        workloads["pipeline_stream"] = bench_pipeline_stream(
+            cluster, sizes["pipeline_stream"]
+        )
+        worker_stats = cluster.stop()
+    except BaseException:
+        cluster.kill()
+        raise
+    pipeline = workloads["pipeline_stream"]["rate_calls_per_s"]
+    rpc = workloads["echo_rpc"]["rate_calls_per_s"]
+    return {
+        "pr": 9,
+        "backend": "asyncio",
+        "mode": "quick" if quick else "full",
+        "gated": False,
+        "workloads": workloads,
+        "pipeline_speedup_over_rpc": pipeline / rpc,
+        "worker_network": worker_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+    report = run(args.quick)
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    for name, data in sorted(report["workloads"].items()):
+        print(
+            "%-16s n=%-6d %8.3fs  %10.1f calls/s"
+            % (name, data["n"], data["seconds"], data["rate_calls_per_s"])
+        )
+    print(
+        "pipeline streams run %.1fx faster than sequential RPCs -> %s"
+        % (report["pipeline_speedup_over_rpc"], args.output)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

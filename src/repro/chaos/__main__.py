@@ -127,13 +127,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_replay(args: argparse.Namespace) -> int:
     paths: List[str] = []
     for root in args.paths:
+        if not os.path.exists(root):
+            raise ValueError(
+                "%s: no such file or directory (expected a seed .json file "
+                "or a directory of them, e.g. tests/chaos/seeds)" % (root,)
+            )
         paths.extend(corpus_paths(root))
     if not paths:
         print("no seed files found under: %s" % " ".join(args.paths))
         return 1
     mismatched = 0
     for path in paths:
-        record = load_seed(path)
+        try:
+            record = load_seed(path)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                "%s: not a seed file (invalid JSON: %s)" % (path, exc)
+            ) from None
         ok, result, mismatches = replay_seed(record)
         if ok:
             print(
@@ -228,7 +238,13 @@ def main(argv: List[str] = None) -> int:
     p_shrink.set_defaults(func=_cmd_shrink)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # Bad inputs (missing/empty/corrupt files) are user errors, not
+        # engine bugs: one actionable line on stderr, exit 2, no traceback.
+        sys.stderr.write("error: %s\n" % (exc,))
+        return 2
 
 
 if __name__ == "__main__":

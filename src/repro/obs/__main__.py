@@ -63,8 +63,34 @@ from repro.obs.trace import (
 )
 
 
+def _load_trace(path: str):
+    """Load a JSONL trace with actionable errors for bad inputs."""
+    try:
+        events = load_jsonl(path)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            "%s: not a JSONL trace (invalid JSON: %s)" % (path, exc)
+        ) from None
+    if not events:
+        raise ValueError(
+            "%s: trace contains no events (was it exported with tracing "
+            "enabled?)" % (path,)
+        )
+    return events
+
+
+def _load_report(path: str):
+    """Load a load-report JSON with actionable errors for bad inputs."""
+    try:
+        return load_report(path)
+    except json.JSONDecodeError as exc:
+        raise ValueError(
+            "%s: not a load report (invalid JSON: %s)" % (path, exc)
+        ) from None
+
+
 def _cmd_summarize(args: argparse.Namespace) -> int:
-    events = load_jsonl(args.trace)
+    events = _load_trace(args.trace)
     meta = trace_meta(events)
     events = [event for event in events if event.type != EV_TRACE_META]
     metrics = replay_metrics(events)
@@ -83,7 +109,7 @@ def _cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def _cmd_spans(args: argparse.Namespace) -> int:
-    events = load_jsonl(args.trace)
+    events = _load_trace(args.trace)
     roots = build_trees(events)
     if not roots:
         print("no spans in trace (was it recorded with tracing enabled?)")
@@ -93,7 +119,7 @@ def _cmd_spans(args: argparse.Namespace) -> int:
 
 
 def _cmd_critical_path(args: argparse.Namespace) -> int:
-    events = load_jsonl(args.trace)
+    events = _load_trace(args.trace)
     spans = build_spans(events)
     report = aggregate_critical_path(spans)
     if args.per_call:
@@ -153,21 +179,21 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
 
 
 def _cmd_chrome(args: argparse.Namespace) -> int:
-    events = load_jsonl(args.trace)
+    events = _load_trace(args.trace)
     slices = write_chrome_trace(events, args.output)
     print("wrote %d slices to %s" % (slices, args.output))
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    report = load_report(args.report)
+    report = _load_report(args.report)
     print(render_report(report))
     slo = report.get("slo")
     return 0 if slo is None or slo.get("ok") else 1
 
 
 def _cmd_top(args: argparse.Namespace) -> int:
-    report = load_report(args.report)
+    report = _load_report(args.report)
     workloads = sorted(report.get("workloads", {}))
     if not workloads:
         print("report has no workloads")
@@ -246,7 +272,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (OSError, ValueError) as exc:
+        # Bad inputs (missing/empty/corrupt files) are user errors, not
+        # analyzer bugs: one actionable line on stderr, exit 2, no
+        # traceback.
+        sys.stderr.write("error: %s\n" % (exc,))
+        return 2
 
 
 if __name__ == "__main__":

@@ -1,0 +1,186 @@
+"""One OS process of a real-socket Argus world.
+
+:class:`RtHost` is the wallclock twin of
+:class:`~repro.entities.system.ArgusSystem`: it owns an
+:class:`~repro.sim.kernel.Environment`, a
+:class:`~repro.rt.clock.WallclockDriver`, and a
+:class:`~repro.rt.transport.TcpNetwork`, and exposes the same facade
+the guardian layer consumes (``env`` / ``network`` / ``stream_config``
+/ ``process_spawn_overhead`` / ``guardians`` / ``lookup`` / ``run``).
+Guardians created on a host are ordinary
+:class:`~repro.entities.guardian.Guardian` objects — the entire entity,
+stream, promise and vat machinery runs unchanged; only the clock pacing
+and the byte transport differ.
+
+Because each process holds only its own guardians, calls to guardians
+in *other* processes resolve through declared topology entries
+(:meth:`declare`) instead of a shared registry: a declaration names the
+guardian, the handler's type, and the node (process) hosting it, which
+is exactly what a :class:`~repro.encoding.xrep.PortDescriptor` carries
+on the wire in Argus proper.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.encoding.xrep import PortDescriptor, type_fingerprint
+from repro.rt.clock import WallclockDriver
+from repro.rt.transport import TcpNetwork
+from repro.sim.kernel import Environment
+from repro.streams.config import StreamConfig
+
+__all__ = ["RtHost"]
+
+
+class RtHost:
+    """A single process (one node) of a wallclock Argus deployment."""
+
+    def __init__(
+        self,
+        node_name: str,
+        time_unit: float = 0.001,
+        stream_config: Optional[StreamConfig] = None,
+        tracing: bool = False,
+        process_spawn_overhead: float = 0.0,
+    ) -> None:
+        self.node_name = node_name
+        self.env = Environment()
+        if tracing:
+            from repro.obs.trace import Tracer
+
+            Tracer.install(self.env)
+        self.driver = WallclockDriver(self.env, time_unit=time_unit)
+        self.loop = self.driver.loop
+        self.network = TcpNetwork(self.driver, node_name)
+        self.node = self.network.add_node(node_name)
+        self.stream_config = stream_config or StreamConfig()
+        self.process_spawn_overhead = process_spawn_overhead
+        self.guardians: Dict[str, Any] = {}
+        #: (guardian, handler, group) -> descriptor for remote handlers.
+        self._topology: Dict[Tuple[str, str, Optional[str]], PortDescriptor] = {}
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # World building (the ArgusSystem facade)
+    # ------------------------------------------------------------------
+    def create_guardian(self, name: str, node: Optional[str] = None):
+        """Create a guardian on this host's node.
+
+        *node* is accepted for signature compatibility with
+        :class:`ArgusSystem` but must be absent or equal to this host's
+        node — a guardian lives in the process that created it.
+        """
+        from repro.entities.guardian import Guardian
+
+        if node is not None and node != self.node_name:
+            raise ValueError(
+                "guardian %r cannot live on %r: this process is node %r"
+                % (name, node, self.node_name)
+            )
+        if name in self.guardians:
+            raise ValueError("guardian %r already exists" % (name,))
+        guardian = Guardian(self, name, self.node)
+        self.guardians[name] = guardian
+        return guardian
+
+    def guardian(self, name: str):
+        try:
+            return self.guardians[name]
+        except KeyError:
+            raise KeyError("no guardian named %r" % (name,)) from None
+
+    def declare(
+        self,
+        guardian_name: str,
+        handler_name: str,
+        handler_type: Any,
+        node: str,
+        group: str = "main",
+    ) -> PortDescriptor:
+        """Declare a handler living on another process, making it
+        resolvable through :meth:`lookup` exactly like a local one."""
+        descriptor = PortDescriptor(
+            node=node,
+            group_address="g:%s" % guardian_name,
+            group_id=group,
+            port_id=handler_name,
+            fingerprint=type_fingerprint(handler_type),
+            handler_type=handler_type,
+        )
+        self._topology[(guardian_name, handler_name, group)] = descriptor
+        self._topology.setdefault((guardian_name, handler_name, None), descriptor)
+        return descriptor
+
+    def lookup(
+        self, guardian_name: str, handler_name: str, group: Optional[str] = None
+    ) -> PortDescriptor:
+        """Resolve a handler: local guardians first, then declarations."""
+        local = self.guardians.get(guardian_name)
+        if local is not None:
+            return local.descriptor(handler_name, group)
+        descriptor = self._topology.get((guardian_name, handler_name, group))
+        if descriptor is None:
+            raise KeyError(
+                "no guardian %r here and no declaration for %s.%s "
+                "(declare() remote handlers before lookup)"
+                % (guardian_name, guardian_name, handler_name)
+            )
+        return descriptor
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def start(self, host: str = "127.0.0.1", port: int = 0) -> int:
+        """Start accepting connections; returns the bound port."""
+        self.port = self.loop.run_until_complete(self.network.listen(host, port))
+        return self.port
+
+    def set_address_book(self, book: Dict[str, Tuple[str, int]]) -> None:
+        """Install ``{node_name: (host, port)}`` routes to peer processes."""
+        self.network.book.update(book)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.env.now
+
+    def run(
+        self, until: Any = None, timeout: Optional[float] = None, idle_exit: bool = False
+    ) -> Any:
+        """Drive the world against real time (see
+        :meth:`WallclockDriver.drain`)."""
+        return self.driver.run(until=until, timeout=timeout, idle_exit=idle_exit)
+
+    def pump(self, seconds: float) -> None:
+        """Serve traffic for *seconds* of real time, then return."""
+        self.run(until=self.env.now + seconds / self.driver.time_unit)
+
+    def stats(self) -> Dict[str, int]:
+        return self.network.stats.snapshot()
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def tracer(self):
+        return self.env.tracer
+
+    def export_trace(self, path: str) -> int:
+        if self.env.tracer is None:
+            raise RuntimeError("tracing is disabled; construct RtHost(tracing=True)")
+        return self.env.tracer.export_jsonl(path)
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Close sockets and the event loop (idempotent)."""
+        self.network.close()
+        if not self.loop.is_closed():
+            # Let transport close callbacks run before the loop dies.
+            self.loop.run_until_complete(asyncio.sleep(0))
+            self.loop.close()

@@ -1,0 +1,34 @@
+"""Backend parametrization for the conformance suite.
+
+Every test taking the ``backend`` fixture runs twice: once on the
+deterministic simulator (plain tier-1 test) and once on the wallclock
+asyncio backend (marked ``wallclock``, excluded from tier-1 by the
+default ``addopts`` and run by the ``net-parity`` CI job).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+import pytest
+
+from tests.conformance.harness import AsyncioBackend, SimBackend
+
+
+def _trace_root() -> str:
+    """Where wallclock traces go: ``RT_TRACE_DIR`` in CI (uploaded as
+    artifacts on failure), pytest's tmp dir otherwise."""
+    return os.environ.get("RT_TRACE_DIR", "")
+
+
+@pytest.fixture(
+    params=["sim", pytest.param("asyncio", marks=pytest.mark.wallclock)]
+)
+def backend(request, tmp_path):
+    if request.param == "sim":
+        return SimBackend()
+    root = _trace_root()
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.name)
+    trace_dir = os.path.join(root, slug) if root else str(tmp_path / "traces")
+    return AsyncioBackend(trace_dir=trace_dir)

@@ -2,10 +2,38 @@
 
 from __future__ import annotations
 
+import signal
+
 import pytest
 
 from repro.entities import ArgusSystem
 from repro.sim import Environment
+
+#: Hard per-test ceiling for wallclock-marked tests.  Harness timeouts
+#: should fire long before this; the alarm is the backstop that keeps a
+#: wedged socket or worker process from hanging the whole CI job.
+WALLCLOCK_TEST_LIMIT_S = 120
+
+
+@pytest.fixture(autouse=True)
+def _wallclock_guard(request):
+    """SIGALRM backstop for ``wallclock`` tests (no-op for the rest)."""
+    if request.node.get_closest_marker("wallclock") is None:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            "wallclock test exceeded the %ds hard limit" % WALLCLOCK_TEST_LIMIT_S
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.alarm(WALLCLOCK_TEST_LIMIT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -81,8 +81,10 @@ def test_chrome_writes_valid_trace_event_json(trace_path, tmp_path, capsys):
 def test_spans_on_empty_trace_reports_and_fails(tmp_path, capsys):
     empty = tmp_path / "empty.jsonl"
     empty.write_text("")
-    assert main(["spans", str(empty)]) == 1
-    assert "no spans" in capsys.readouterr().out
+    assert main(["spans", str(empty)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: ")
+    assert "no events" in err
 
 
 # ----------------------------------------------------------------------
