@@ -22,6 +22,11 @@ The roster mirrors the repository's three examples plus one new workload:
   is a phantom, and a cleared bit for an acknowledged call is a lost write
   — an end-to-end exactly-once oracle that needs no access to transport
   internals.
+* ``kv_graph`` — the same base-4 ledger driven through the PR 10 promise
+  graph engine: adds travel as cross-shard routine chains, Zipf-skewed
+  multi-key reads join at collectors, and the driver waits with a bounded
+  settle instead of claiming (unready promises are abandoned to
+  ``unavailable``, never stranded).
 
 Every driver records outcomes as ``(key, tag, value)`` triples where *tag*
 is ``"ok"`` or the Argus condition name (``unavailable``, ``failure``, a
@@ -36,6 +41,7 @@ from typing import Any, Dict, List, Tuple
 from repro.core.exceptions import ArgusError
 from repro.core.promise import Promise
 from repro.entities.system import ArgusSystem
+from repro.graph import GraphBuilder, GraphRuntime, register_routine
 from repro.streams.config import StreamConfig
 from repro.types.signatures import INT, STRING, HandlerType
 
@@ -559,6 +565,192 @@ class KvWorkload(Workload):
 
 
 # ----------------------------------------------------------------------
+# kv_graph — the kv ledger driven through the promise-graph engine (PR 10)
+# ----------------------------------------------------------------------
+# The graph routines are ordinary module-level functions over guardian
+# state; re-registration on repeated imports is a no-op (latest wins).
+
+
+def _graph_kv_add(state, captures, inputs):
+    key, delta = captures
+    data = state.setdefault("data", {})
+    data[key] = data.get(key, 0) + delta
+    return (data[key],)
+
+
+def _graph_kv_get(state, captures, inputs):
+    (key,) = captures
+    return (state.setdefault("data", {}).get(key, 0),)
+
+
+def _graph_kv_sum(state, captures, inputs):
+    return (sum(values[0] for values in inputs),)
+
+
+register_routine(
+    "chaos.kv_add",
+    _graph_kv_add,
+    capture_types=(STRING, INT),
+    output_types=(INT,),
+    cost=0.02,
+)
+#: The chainable form: same ledger update, but declares an input row so a
+#: chain link can ride its predecessor's output (the value is ignored —
+#: the edge exists to exercise cross-shard cascades).
+register_routine(
+    "chaos.kv_link",
+    _graph_kv_add,
+    capture_types=(STRING, INT),
+    input_types=(INT,),
+    output_types=(INT,),
+    cost=0.02,
+)
+register_routine(
+    "chaos.kv_get",
+    _graph_kv_get,
+    capture_types=(STRING,),
+    output_types=(INT,),
+    cost=0.02,
+)
+register_routine(
+    "chaos.kv_sum",
+    _graph_kv_sum,
+    input_types=(INT,),
+    output_types=(INT,),
+    cost=0.02,
+)
+
+
+class KvGraphWorkload(KvWorkload):
+    """The base-4 ledger shipped as promise graphs over sharded guardians.
+
+    Every round submits one graph: the shuffled keys are cut into chains
+    of ``chain_len`` add links (each link scheduled on its own key, so a
+    chain hops shards as a cascading batch frame), plus ``reads_per_round``
+    Zipf-skewed two-key read transactions — ``get`` sources joining at a
+    ``sum`` collector on the hottest key's shard.  Nothing blocks per
+    call: the driver sleeps a settle budget, snapshots whichever promises
+    resolved, and abandons the rest to ``unavailable`` (the
+    promise-resolution oracle forbids stranding).  Adds are snapshot
+    *before* the verification reads are issued, so an add recorded ``ok``
+    has provably executed before any read ran and the inherited ledger
+    oracle stays sound under every schedule.
+    """
+
+    name = "kv_graph"
+    horizon = 60.0
+    chain_len = 3
+    reads_per_round = 2
+    read_width = 2
+    settle = 8.0
+    allowed_signals = ()
+
+    def build(self, system: ArgusSystem) -> None:
+        shard_names = ["shard%d" % s for s in range(self.n_shards)]
+        shards = []
+        for shard_name in shard_names:
+            guardian = system.create_guardian(shard_name)
+            guardian.state["data"] = {}
+            shards.append(guardian)
+        client = system.create_guardian(self.client)
+        self._runtime = GraphRuntime(system, shard_names, origin=self.client)
+        for guardian in shards:
+            self._runtime.install_shard(guardian)
+        self._runtime.install_origin(client)
+
+    def _zipf_pick(self, rng, width: int) -> List[int]:
+        """*width* distinct keys, lower indices heavily favoured."""
+        keys = list(range(self.n_keys))
+        picked: List[int] = []
+        for _ in range(width):
+            weights = [1.0 / (keys[i] + 1) for i in range(len(keys))]
+            roll = rng.random() * sum(weights)
+            index = 0
+            for index, weight in enumerate(weights):
+                roll -= weight
+                if roll <= 0.0:
+                    break
+            picked.append(keys.pop(index))
+        return picked
+
+    def _snapshot(self, pending, outcomes: List[Outcome]) -> None:
+        """Record each (key, promise): resolved value, or give it up."""
+        for key, promise in pending:
+            if promise.ready():
+                outcome = promise.outcome()
+                if outcome.is_normal:
+                    results = outcome.results
+                    value = results[0] if len(results) == 1 else list(results)
+                    outcomes.append((key, "ok", value))
+                else:
+                    outcomes.append((key, outcome.exception.condition, None))
+            else:
+                outcomes.append((key, "unavailable", None))
+        self._runtime.abandon()
+
+    def driver(self, ctx):
+        outcomes: List[Outcome] = []
+        pending: List[Tuple[str, Promise]] = []
+        rng = ctx.system.rng.stream("workload.kv_graph")
+        for j in range(self.rounds):
+            yield ctx.sleep(2.5)
+            keys = list(range(self.n_keys))
+            rng.shuffle(keys)
+            graph = GraphBuilder()
+            tags: List[str] = []
+            for start in range(0, self.n_keys, self.chain_len):
+                node = None
+                for k in keys[start:start + self.chain_len]:
+                    captures = ("key%d" % k, 4 ** j)
+                    if node is None:
+                        node = graph.source(
+                            "chaos.kv_add", captures=captures, sched_key=k
+                        )
+                    else:
+                        node = node.then(
+                            "chaos.kv_link", captures=captures, sched_key=k
+                        )
+                    node.emit("add:key%d:r%d" % (k, j))
+                    tags.append("add:key%d:r%d" % (k, j))
+            for t in range(self.reads_per_round):
+                picked = self._zipf_pick(rng, self.read_width)
+                gets = [
+                    graph.source(
+                        "chaos.kv_get", captures=("key%d" % k,), sched_key=k
+                    )
+                    for k in picked
+                ]
+                graph.collect(
+                    "chaos.kv_sum", gets, sched_key=picked[0]
+                ).emit("sum:r%d:t%d" % (j, t))
+                tags.append("sum:r%d:t%d" % (j, t))
+            try:
+                promises = self._runtime.submit(ctx, graph, epoch=j)
+            except ArgusError as exc:
+                outcomes.extend((tag, exc.condition, None) for tag in tags)
+                continue
+            pending.extend(promises.items())
+        yield ctx.sleep(self.settle)
+        # Adds settle (or are abandoned) before any verification read is
+        # issued: an "ok" add has executed strictly before every read.
+        self._snapshot(pending, outcomes)
+        graph = GraphBuilder()
+        read_tags = ["get:key%d" % k for k in range(self.n_keys)]
+        for k in range(self.n_keys):
+            graph.source(
+                "chaos.kv_get", captures=("key%d" % k,), sched_key=k
+            ).emit("get:key%d" % k)
+        try:
+            reads = self._runtime.submit(ctx, graph, epoch=self.rounds)
+        except ArgusError as exc:
+            outcomes.extend((tag, exc.condition, None) for tag in read_tags)
+            reads = {}
+        yield ctx.sleep(self.settle)
+        self._snapshot(list(reads.items()), outcomes)
+        return outcomes
+
+
+# ----------------------------------------------------------------------
 # vat variants — the same worlds driven by promise continuations (PR 6)
 # ----------------------------------------------------------------------
 # Outcomes are recorded inside when_resolved callbacks instead of blocking
@@ -690,6 +882,7 @@ WORKLOADS: Dict[str, Any] = {
         PipelineWorkload,
         BulkloadWorkload,
         KvWorkload,
+        KvGraphWorkload,
         EchoVatWorkload,
         KvVatWorkload,
     )

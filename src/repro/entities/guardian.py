@@ -103,18 +103,36 @@ class TransportEndpoint:
             receiver.dispatcher.stop(
                 "superseded by incarnation %d" % packet.incarnation
             )
-        if receiver is None or packet.incarnation > receiver.incarnation:
-            if packet.attempt > 0 and self.node.incarnation > 0:
-                # A retransmission is opening a fresh stream on a node that
-                # has crashed: the entries may already have executed before
-                # the crash, so executing them again would violate
-                # exactly-once.  Break the stream asynchronously instead
-                # (§2: the effect on already-processed calls of an
-                # asynchronous break is nondeterministic).
+        if receiver is not None and packet.incarnation < receiver.incarnation:
+            return  # stale incarnation
+        fresh = receiver is None or packet.incarnation > receiver.incarnation
+        if self.node.incarnation > 0 and (fresh or receiver.virgin):
+            # On a node that has crashed, entries may only start flowing
+            # from a genuine stream start: a first transmission whose
+            # entries begin at seq 1.  A retransmission or a mid-sequence
+            # first transmission means the sender believes the stream is
+            # already open — entries below the packet's window may have
+            # executed before the crash, so accepting would let a later
+            # go-back-N retransmission re-execute them.  Break the stream
+            # asynchronously instead (§2: the effect on already-processed
+            # calls of an asynchronous break is nondeterministic).  The
+            # rule keeps applying while the receiver is *virgin* (opened
+            # by an entry-less announce or bare ack, nothing delivered
+            # yet): such a receiver must not launder pre-crash entries
+            # through later packets either.  Sound because senders always
+            # start an incarnation
+            # at seq 1 and the network drops datagrams stamped for a
+            # previous node incarnation, so a surviving attempt-0 packet
+            # starting at seq 1 cannot be a replay from before the crash.
+            if packet.attempt > 0 or (
+                packet.entries
+                and min(entry.seq for entry in packet.entries) != 1
+            ):
                 self._refuse(
                     packet, "receiver state lost (crash)", permanent=False
                 )
                 return
+        if fresh:
             receiver = StreamReceiver(
                 self.env,
                 self.network,
@@ -124,8 +142,8 @@ class TransportEndpoint:
                 guardian.system.stream_config,
             )
             self._receivers[packet.key] = receiver
-        elif packet.incarnation < receiver.incarnation:
-            return  # stale incarnation
+        if packet.entries:
+            receiver.virgin = False
         receiver.on_call_packet(packet)
 
     def _refuse(self, packet: CallPacket, reason: str, permanent: bool = True) -> None:

@@ -139,6 +139,11 @@ class HandlerRef:
         """Explicit send: a reply arrives only on abnormal termination."""
         self._sender().send(self.descriptor.port_id, self.handler_type, args)
 
+    def batch(self, *args: Any) -> None:
+        """Ship an epoch batch frame (see :mod:`repro.graph`): send
+        semantics on the wire, flushed immediately at the epoch boundary."""
+        self._sender().batch(self.descriptor.port_id, self.handler_type, args)
+
     # -- stream-level operations --------------------------------------------
     def flush(self) -> None:
         """``flush h`` — push out buffered calls, pull back replies."""

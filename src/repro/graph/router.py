@@ -1,0 +1,61 @@
+"""Scheduling-key to shard routing.
+
+Sharding must agree across every guardian and across both ends of a
+migration, so the hash is a fixed integer mix (splitmix64's finalizer) —
+never Python's randomized ``hash()``.  The same keys therefore land on
+the same shards in every run, which the deterministic benchmarks and the
+seed-replayable chaos campaigns rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+__all__ = ["ShardRouter", "mix64"]
+
+_MASK = (1 << 64) - 1
+
+
+def mix64(x: int) -> int:
+    """splitmix64 finalizer: a well-distributed 64-bit mix of *x*."""
+    x &= _MASK
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK
+    x ^= x >> 31
+    return x
+
+
+class ShardRouter:
+    """Maps scheduling keys onto a fixed group of shard guardians."""
+
+    __slots__ = ("shard_names", "_index_of")
+
+    def __init__(self, shard_names: Sequence[str]) -> None:
+        if not shard_names:
+            raise ValueError("a shard group needs at least one guardian")
+        self.shard_names: Tuple[str, ...] = tuple(shard_names)
+        self._index_of: Dict[str, int] = {
+            name: i for i, name in enumerate(self.shard_names)
+        }
+        if len(self._index_of) != len(self.shard_names):
+            raise ValueError("duplicate shard guardian names")
+
+    def __len__(self) -> int:
+        return len(self.shard_names)
+
+    def shard_index(self, sched_key: int) -> int:
+        """The shard slot *sched_key* hashes to."""
+        return mix64(sched_key) % len(self.shard_names)
+
+    def shard_name(self, sched_key: int) -> str:
+        """The guardian owning *sched_key*."""
+        return self.shard_names[self.shard_index(sched_key)]
+
+    def index_of(self, guardian_name: str) -> int:
+        """The slot of a shard guardian (KeyError if not a shard)."""
+        return self._index_of[guardian_name]
+
+    def __repr__(self) -> str:
+        return "<ShardRouter %s>" % (list(self.shard_names),)

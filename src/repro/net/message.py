@@ -38,6 +38,7 @@ class Message:
         "payload_bytes",
         "wire_bytes",
         "send_time",
+        "dst_incarnation",
     )
 
     def __init__(
@@ -61,6 +62,13 @@ class Message:
         #: per send on the hot path.
         self.wire_bytes = HEADER_BYTES + payload_bytes
         self.send_time: float = -1.0
+        #: Destination node incarnation at send time, stamped by the
+        #: network.  A crash flushes the NIC queue: a datagram addressed
+        #: to a previous incarnation is never delivered to the next one
+        #: (otherwise a chaos-duplicated copy of an old stream's first
+        #: packet could re-open the stream on a recovered node and
+        #: re-execute already-delivered calls).  -1 until stamped.
+        self.dst_incarnation: int = -1
 
     def __repr__(self) -> str:
         return "<Message #%d %s->%s/%s %dB>" % (

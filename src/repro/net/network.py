@@ -85,8 +85,11 @@ class Node:
         self.network = network
         self.name = name
         self.alive = True
-        #: Incarnation increments on every recovery, so stale messages can
-        #: be recognized by higher layers if they care.
+        #: Incarnation increments on every recovery.  The network stamps
+        #: each datagram with the destination incarnation it was sent to
+        #: and refuses to deliver across a recovery — a crash resets the
+        #: "connection", so pre-crash traffic (including chaos-duplicated
+        #: copies) can never replay into the next incarnation.
         self.incarnation = 0
         self._handlers: Dict[str, DeliveryHandler] = {}
         self._crash_listeners: list = []
@@ -332,6 +335,10 @@ class Network:
                 stats.messages_dropped_loss += 1
                 self._trace_drop(message, "loss")
             else:
+                # Stamp the destination incarnation: a datagram addressed
+                # to this incarnation dies with it (crash = NIC reset), so
+                # late copies can never reach the recovered node.
+                message.dst_incarnation = dst.incarnation
                 faults = self.link_faults
                 if faults is None:
                     # Fast path: exactly one FIFO delivery.
@@ -484,9 +491,11 @@ class Network:
                 self.stats.messages_dropped_partition += 1
                 self._trace_drop(message, "partition")
                 return
-        if not dst.alive:
+        if not dst.alive or dst.incarnation != message.dst_incarnation:
             self.stats.messages_dropped_crash += 1
-            self._trace_drop(message, "crash")
+            self._trace_drop(
+                message, "crash" if not dst.alive else "stale_incarnation"
+            )
             return
         # Receiving kernel call, serialized on the destination NIC.
         self.stats.kernel_calls += 1
@@ -526,9 +535,11 @@ class Network:
             self._finish_remote(message, dst)
 
     def _finish_remote(self, message: Message, dst: Node) -> None:
-        if not dst.alive:
+        if not dst.alive or dst.incarnation != message.dst_incarnation:
             self.stats.messages_dropped_crash += 1
-            self._trace_drop(message, "crash")
+            self._trace_drop(
+                message, "crash" if not dst.alive else "stale_incarnation"
+            )
             return
         self.stats.messages_delivered += 1
         tracer = self.env.tracer

@@ -15,7 +15,8 @@ example's ``--trace DIR`` flag).  Subcommands:
     Aggregate phase breakdown across all complete calls — where the
     run's latency went (buffering, wire, queueing, execution, reply
     path) — plus the slowest single call.  Use ``--per-call`` to list
-    every call's breakdown.
+    every call's breakdown.  Traces with promise-graph events get an
+    extra per-shard table (routines, migrations, busy time, frames).
 
 ``chrome``
     Convert the trace to Chrome trace-event JSON; open the output in
@@ -52,6 +53,7 @@ from repro.obs.spans import (
     build_trees,
     critical_path,
     format_tree,
+    graph_shard_breakdown,
     write_chrome_trace,
 )
 from repro.obs.trace import (
@@ -118,6 +120,32 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_graph_shards(shards) -> None:
+    """The per-shard graph section; prints nothing for non-graph traces."""
+    if not shards:
+        return
+    total_busy = sum(row["busy"] for row in shards.values())
+    print("graph shards (routine executions grouped by shard):")
+    print(
+        "    %-12s %9s %9s %10s %7s %8s %9s"
+        % ("shard", "routines", "migrated", "busy", "busy%", "frames", "units")
+    )
+    for shard in sorted(shards):
+        row = shards[shard]
+        print(
+            "    %-12s %9d %9d %10.3f %6.1f%% %8d %9d"
+            % (
+                shard,
+                row["routines"],
+                row["migrated"],
+                row["busy"],
+                100.0 * row["busy"] / total_busy if total_busy else 0.0,
+                row["frames_out"],
+                row["units_out"],
+            )
+        )
+
+
 def _cmd_critical_path(args: argparse.Namespace) -> int:
     events = _load_trace(args.trace)
     spans = build_spans(events)
@@ -142,7 +170,9 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
     print(
         "calls: %d (%d complete)" % (report["calls"], report["complete_calls"])
     )
+    shards = graph_shard_breakdown(events)
     if not report["complete_calls"]:
+        _print_graph_shards(shards)
         return 1
     total = report["end_to_end_total"]
     print("end-to-end total: %.3f  mean: %.3f" % (total, report["end_to_end_mean"]))
@@ -175,6 +205,7 @@ def _cmd_critical_path(args: argparse.Namespace) -> int:
                 slowest["dominant_phase"],
             )
         )
+    _print_graph_shards(shards)
     return 0
 
 

@@ -51,6 +51,8 @@ from repro.obs.trace import (
     EV_CALL_EXECUTING,
     EV_CALL_RESOLVED,
     EV_FORK_SPAWNED,
+    EV_GRAPH_EPOCH,
+    EV_GRAPH_ROUTINE,
     EV_PACKET_SENT,
     EV_PROMISE_CLAIM_LATENCY,
     EV_REPLY_PACKET_SENT,
@@ -66,6 +68,7 @@ __all__ = [
     "critical_path",
     "aggregate_critical_path",
     "format_tree",
+    "graph_shard_breakdown",
     "to_chrome_trace",
     "write_chrome_trace",
 ]
@@ -467,6 +470,50 @@ def aggregate_critical_path(spans: List[CallSpan]) -> Dict[str, Any]:
         ),
         "slowest_call": critical_path(slowest) if slowest is not None else None,
     }
+
+
+# ----------------------------------------------------------------------
+# Graph shard breakdown
+# ----------------------------------------------------------------------
+def graph_shard_breakdown(events: List[TraceEvent]) -> Dict[str, Dict[str, Any]]:
+    """Per-shard accounting of graph execution, from the graph events.
+
+    For each shard that executed routines or shipped epoch frames,
+    returns ``routines`` (executions), ``migrated`` (executions a
+    ``node_func`` re-routed here), ``busy`` (summed routine compute
+    time), ``frames_out`` (epoch/result frames shipped from here) and
+    ``units_out`` (deliveries inside them).  Empty when the trace has no
+    graph events — the CLI uses that to keep non-graph reports
+    unchanged.
+    """
+    shards: Dict[str, Dict[str, Any]] = {}
+
+    def entry(shard: str) -> Dict[str, Any]:
+        found = shards.get(shard)
+        if found is None:
+            found = shards[shard] = {
+                "routines": 0,
+                "migrated": 0,
+                "busy": 0.0,
+                "frames_out": 0,
+                "units_out": 0,
+            }
+        return found
+
+    for event in events:
+        if event.type == EV_GRAPH_ROUTINE:
+            fields = event.fields
+            row = entry(fields["shard"])
+            row["routines"] += 1
+            row["busy"] += fields.get("cost", 0.0)
+            if fields.get("migrated"):
+                row["migrated"] += 1
+        elif event.type == EV_GRAPH_EPOCH:
+            fields = event.fields
+            row = entry(fields["shard"])
+            row["frames_out"] += 1
+            row["units_out"] += fields.get("units", 0)
+    return shards
 
 
 # ----------------------------------------------------------------------

@@ -75,6 +75,8 @@ __all__ = [
     "EV_PROMISE_CLAIM_LATENCY",
     "EV_PROMISE_CHAINED",
     "EV_VAT_TURN",
+    "EV_GRAPH_ROUTINE",
+    "EV_GRAPH_EPOCH",
 ]
 
 # -- sim layer ---------------------------------------------------------
@@ -128,6 +130,15 @@ EV_PROMISE_CHAINED = "promise.chained"
 #: One vat drain completed (``callbacks`` run, ``pending`` left behind by
 #: an aborted drain — normally 0).
 EV_VAT_TURN = "vat.turn"
+
+# -- graph layer -------------------------------------------------------
+#: One graph routine executed on a shard (``shard``, ``graph``, ``node``,
+#: ``callback``, ``cost``, ``migrated``).  ``migrated`` marks executions
+#: a ``node_func`` re-routed away from the node's static shard.
+EV_GRAPH_ROUTINE = "graph.routine"
+#: One graph frame shipped (``shard`` = sender, ``dst``, ``epoch``,
+#: ``units`` = deliveries or results inside it).
+EV_GRAPH_EPOCH = "graph.epoch"
 
 # -- trace metadata ----------------------------------------------------
 #: Synthetic record written by :meth:`Tracer.export_jsonl` when the ring
@@ -548,6 +559,18 @@ def _agg_process_finished(metrics: Metrics, fields: Dict[str, Any]) -> None:
     metrics.inc("sim.processes_finished", status=fields["status"])
 
 
+def _agg_graph_routine(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("graph.routines", shard=fields["shard"])
+    metrics.observe("graph.routine_cost", fields["cost"], shard=fields["shard"])
+    if fields.get("migrated"):
+        metrics.inc("graph.migrations", shard=fields["shard"])
+
+
+def _agg_graph_epoch(metrics: Metrics, fields: Dict[str, Any]) -> None:
+    metrics.inc("graph.epochs", shard=fields["shard"])
+    metrics.observe("graph.epoch_units", fields["units"], shard=fields["shard"])
+
+
 def _agg_node_crash(metrics: Metrics, fields: Dict[str, Any]) -> None:
     metrics.inc("net.node_crashes", node=fields["node"])
 
@@ -590,6 +613,8 @@ _AGGREGATORS = {
     EV_PROMISE_CLAIM_LATENCY: _agg_promise_claim_latency,
     EV_PROMISE_CHAINED: _agg_promise_chained,
     EV_VAT_TURN: _agg_vat_turn,
+    EV_GRAPH_ROUTINE: _agg_graph_routine,
+    EV_GRAPH_EPOCH: _agg_graph_epoch,
     EV_PROCESS_CREATED: _agg_process_created,
     EV_PROCESS_RESUMED: _agg_process_resumed,
     EV_PROCESS_FINISHED: _agg_process_finished,

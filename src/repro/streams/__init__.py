@@ -4,6 +4,7 @@ from repro.streams.config import StreamConfig
 from repro.streams.receiver import CallDispatcher, ReceiverStats, StreamReceiver
 from repro.streams.sender import SenderStats, StreamSender
 from repro.streams.wire import (
+    KIND_BATCH,
     KIND_RPC,
     KIND_SEND,
     KIND_STREAM,
@@ -20,6 +21,7 @@ __all__ = [
     "CallDispatcher",
     "CallEntry",
     "CallPacket",
+    "KIND_BATCH",
     "KIND_RPC",
     "KIND_SEND",
     "KIND_STREAM",

@@ -30,6 +30,7 @@ from repro.streams.config import StreamConfig
 from repro.types.signatures import HandlerType
 
 from repro.streams.wire import (
+    KIND_BATCH,
     KIND_RPC,
     KIND_SEND,
     BreakNotice,
@@ -117,6 +118,14 @@ class StreamReceiver:
 
         self.expected_seq = 1
         self.completed_seq = 0
+        #: True until the receiver accepts its first entry-bearing packet.
+        #: On a node that has crashed, the transport endpoint keeps
+        #: applying the stream-start rule (first transmission, entries
+        #: from seq 1) to virgin receivers: a receiver opened by an empty
+        #: packet (a reincarnation announce or a bare ack) must not let a
+        #: later go-back-N retransmission deliver entries that may
+        #: already have executed before the crash.
+        self.virgin = True
         self.broken: Optional[BreakNotice] = None
         self._out_of_order: Dict[int, CallEntry] = {}
         self._reply_buffer: List[ReplyEntry] = []
@@ -302,8 +311,10 @@ class StreamReceiver:
         self.completed_seq = max(self.completed_seq, seq)
 
         entry: Optional[ReplyEntry] = None
-        if kind == KIND_SEND and outcome.is_normal:
+        if kind in (KIND_SEND, KIND_BATCH) and outcome.is_normal:
             # "in the case of sends, normal replies can be omitted."
+            # Epoch batch frames share the omission: the watermark acks
+            # a whole epoch in one field.
             entry = None
         else:
             encoder = codec or OutcomeCodec.for_type(_EMPTY_HANDLER_TYPE)

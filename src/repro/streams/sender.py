@@ -42,6 +42,7 @@ from repro.sim.events import Event
 from repro.sim.kernel import Environment
 from repro.streams.config import StreamConfig
 from repro.streams.wire import (
+    KIND_BATCH,
     KIND_RPC,
     KIND_SEND,
     KIND_STREAM,
@@ -197,6 +198,25 @@ class StreamSender:
     ) -> Optional[Promise]:
         """Make an explicit send (reply only on abnormal termination)."""
         return self._call(port_id, handler_type, args, KIND_SEND, want_promise)
+
+    def batch(
+        self,
+        port_id: str,
+        handler_type: HandlerType,
+        args: Sequence[Any],
+        want_promise: bool = False,
+    ) -> Optional[Promise]:
+        """Ship one epoch batch frame (see :mod:`repro.graph`).
+
+        A batch is a send on the wire — no reply data on normal
+        completion, the ``completed_seq`` watermark stands in for it —
+        but it is flushed immediately: an epoch boundary *is* the
+        batching decision, so holding the frame for the stream's own
+        buffer triggers would only delay the epoch.
+        """
+        promise = self._call(port_id, handler_type, args, KIND_BATCH, want_promise)
+        self._flush_buffer()
+        return promise
 
     def rpc(self, port_id: str, handler_type: HandlerType, args: Sequence[Any]) -> Event:
         """Make an ordinary RPC: transmit immediately, wait for the reply.
@@ -829,9 +849,13 @@ class StreamSender:
                 continue
             outcome = self._outcomes.pop(seq, None)
             if outcome is None:
-                if seq <= self._completed_seq and pending.kind == KIND_SEND:
-                    # A send that completed normally: no reply data arrives,
-                    # the completion watermark stands in for it.
+                if seq <= self._completed_seq and pending.kind in (
+                    KIND_SEND,
+                    KIND_BATCH,
+                ):
+                    # A send (or an epoch batch frame) that completed
+                    # normally: no reply data arrives, the completion
+                    # watermark stands in for it.
                     outcome = Outcome.normal()
                 else:
                     break

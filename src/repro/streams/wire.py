@@ -20,6 +20,7 @@ __all__ = [
     "KIND_RPC",
     "KIND_STREAM",
     "KIND_SEND",
+    "KIND_BATCH",
     "StreamKey",
     "CallEntry",
     "CallPacket",
@@ -38,6 +39,12 @@ KIND_RPC = "rpc"
 KIND_STREAM = "stream"
 #: A send: like a stream call, but a normal completion sends no reply data.
 KIND_SEND = "send"
+#: A batch frame: one entry carrying a whole epoch of graph routines for
+#: one shard (see :mod:`repro.graph`).  Reply semantics are a send's —
+#: normal completions are covered by the ``completed_seq`` watermark —
+#: but the kind is distinct so traces and metrics can tell an epoch
+#: frame from an application-level send.
+KIND_BATCH = "batch"
 
 #: Fixed header cost of a packet beyond the datagram header.
 PACKET_HEADER_BYTES = 32
@@ -121,7 +128,7 @@ class CallEntry:
         args_bytes: bytes,
         span: Optional[Tuple[int, int, int]] = None,
     ) -> None:
-        if kind not in (KIND_RPC, KIND_STREAM, KIND_SEND):
+        if kind not in (KIND_RPC, KIND_STREAM, KIND_SEND, KIND_BATCH):
             raise ValueError("unknown call kind %r" % (kind,))
         self.seq = seq
         self.port_id = port_id

@@ -7,9 +7,9 @@ from repro.chaos.schedule import ChaosSchedule, FaultOp
 from repro.chaos.workloads import WORKLOADS, KvWorkload, create_workload
 
 
-def test_roster_contains_the_six_workloads():
+def test_roster_contains_the_seven_workloads():
     assert set(WORKLOADS) == {
-        "echo", "pipeline", "bulkload", "kv", "echo_vat", "kv_vat",
+        "echo", "pipeline", "bulkload", "kv", "echo_vat", "kv_vat", "kv_graph",
     }
     with pytest.raises(KeyError):
         create_workload("nope")

@@ -1,0 +1,69 @@
+"""Shared routines and system builder for the graph test suite.
+
+Importing this module registers a small family of ``t.*`` routines in
+the graph routine registry (latest registration wins, so re-imports are
+harmless) and provides :func:`build_graph_system` — the three-shard
+world every end-to-end test runs against.
+"""
+
+from repro.entities import ArgusSystem
+from repro.graph import GraphRuntime, register_routine
+from repro.types import INT, STRING
+
+
+def _t_add(state, captures, inputs):
+    key, delta = captures
+    data = state.setdefault("data", {})
+    data[key] = data.get(key, 0) + delta
+    return (data[key],)
+
+
+def _t_scale(state, captures, inputs):
+    (factor,) = captures
+    (value,) = inputs
+    return (value * factor,)
+
+
+def _t_sum(state, captures, inputs):
+    return (sum(values[0] for values in inputs),)
+
+
+def _t_mark(state, captures, inputs):
+    (value,) = inputs
+    state.setdefault("hits", []).append(value)
+    return (value,)
+
+
+register_routine(
+    "t.add", _t_add, capture_types=(STRING, INT), output_types=(INT,), cost=0.05
+)
+register_routine(
+    "t.scale",
+    _t_scale,
+    capture_types=(INT,),
+    input_types=(INT,),
+    output_types=(INT,),
+    cost=0.05,
+)
+register_routine("t.sum", _t_sum, input_types=(INT,), output_types=(INT,), cost=0.05)
+# ``t.mark`` reroutes by its *actual* input value: the migration routine.
+register_routine(
+    "t.mark",
+    _t_mark,
+    input_types=(INT,),
+    output_types=(INT,),
+    node_func=lambda captures, inputs: inputs[0],
+    cost=0.05,
+)
+
+
+def build_graph_system(n_shards=3, tracing=False):
+    """A fresh system with ``n_shards`` shard guardians plus the client
+    origin, all wired into one :class:`GraphRuntime`."""
+    system = ArgusSystem(latency=1.0, kernel_overhead=0.1, tracing=tracing)
+    names = ["shard%d" % i for i in range(n_shards)]
+    runtime = GraphRuntime(system, names, origin="client")
+    for name in names:
+        runtime.install_shard(system.create_guardian(name))
+    runtime.install_origin(system.create_guardian("client"))
+    return system, runtime

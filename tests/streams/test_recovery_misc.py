@@ -54,6 +54,71 @@ def test_receiver_state_cleared_on_crash():
     run_main(system, client, main)
 
 
+def test_datagram_for_previous_incarnation_is_dropped():
+    """A crash flushes the NIC: a datagram sent to incarnation N is never
+    delivered to incarnation N+1, even if the node is back up when it
+    arrives — otherwise an in-flight first transmission could re-open a
+    stream on the recovered node and re-execute pre-crash calls."""
+    system, server, client = build_echo_world(stream_config=FAST)
+    # Crash and recover entirely while the first packet is on the wire
+    # (sent ~0.1, latency 1.0): at arrival the node is alive again but
+    # one incarnation later.
+    schedule_crash(system.network, "node:server", at=0.5, recover_at=0.7)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        doomed = echo.stream(1)
+        echo.flush()
+        try:
+            yield doomed.claim()
+            first = "normal"
+        except Unavailable:
+            first = "unavailable"
+        value = yield echo.call(2)
+        return (first, value)
+
+    first, value = run_main(system, client, main)
+    # The stale datagram was dropped; the retransmission was refused
+    # (receiver state lost), breaking the stream.  The follow-up call
+    # rode the next incarnation.
+    assert first == "unavailable"
+    assert value == 2
+    assert system.network.stats.messages_dropped_crash >= 1
+    # Exactly-once held throughout: only the follow-up call executed.
+    assert server.state["echo_calls"] == 1
+
+
+def test_mid_stream_open_after_recovery_is_refused_not_replayed():
+    """A first-transmission packet that does not start at seq 1 must not
+    open a fresh receiver on a recovered node: entries below its window
+    may have executed pre-crash, and accepting it would let a later
+    go-back-N retransmission replay them."""
+    system, server, client = build_echo_world(stream_config=FAST)
+
+    def main(ctx):
+        echo = ctx.lookup("server", "echo")
+        value1 = yield echo.call(1)  # seq 1 delivered and executed
+        server.node.crash()  # receiver state lost
+        server.node.recover()  # incarnation 1
+        doomed = echo.stream(2)  # seq 2, attempt 0: a mid-stream open
+        echo.flush()
+        try:
+            yield doomed.claim()
+            second = "normal"
+        except Unavailable:
+            second = "unavailable"
+        value3 = yield echo.call(3)  # next incarnation restarts at seq 1
+        return (value1, second, value3, echo.stream_sender.incarnation)
+
+    value1, second, value3, incarnation = run_main(system, client, main)
+    assert (value1, value3) == (1, 3)
+    assert second == "unavailable"
+    assert incarnation >= 1
+    # seq 1 executed once, the refused call never executed, the
+    # follow-up executed once: exactly two executions, no replays.
+    assert server.state["echo_calls"] == 2
+
+
 def test_same_node_stream_uses_local_fast_path():
     """Guardians on one node talk without network messages."""
     system = ArgusSystem(latency=5.0, kernel_overhead=0.5, stream_config=FAST)
